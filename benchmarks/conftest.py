@@ -1,0 +1,64 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints the rows/series of the paper table or figure it
+regenerates (with the paper's numbers alongside), so ``pytest benchmarks/
+--benchmark-only`` output can be compared against the paper line by line.
+
+Scale knob: set ``REPRO_BENCH_SCALE=small`` for a quick pass (smaller
+clusters, fewer iterations) or leave the default (``paper``) to run the
+paper's configurations. Simulations run in virtual time either way — the
+knob only bounds the wall-clock of the event loop.
+"""
+
+import os
+import sys
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper") != "small"
+
+_REPORTS = []
+
+
+def emit(text: str) -> None:
+    """Queue a line of experiment output.
+
+    Collected lines are printed in the terminal summary (which pytest does
+    not capture), so ``pytest benchmarks/ --benchmark-only | tee ...``
+    records every regenerated table and figure.
+    """
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ reproduced tables and figures ================")
+    for line in _REPORTS:
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+def anchor_assignment(app):
+    """Task->worker assignment by the controller's anchor rule (the home
+    of each task's first written object), matching what a capture run
+    records."""
+    home = {oid: h for oid, _n, _p, _s, h in app.variables.definitions}
+    assignment = []
+    for _stage, task in app.iteration_block.all_tasks():
+        anchor = task.write[0] if task.write else task.read[0]
+        assignment.append(home[anchor] if home[anchor] is not None else 0)
+    return assignment
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an (expensive, virtual-time) simulation once under
+    pytest-benchmark, returning its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

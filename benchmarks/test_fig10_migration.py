@@ -1,0 +1,132 @@
+"""Figure 10 — task migration every 5 iterations: Nimbus edits vs Naiad
+reinstalls.
+
+Paper: logistic regression over 100 workers, migrating 5 % of the tasks
+every 5 iterations. Nimbus applies edits (~35 ms per migration) with
+negligible per-iteration overhead; Naiad must reinstall the whole data
+flow (~230 ms) for any change, so Nimbus finishes 20 iterations almost
+twice as fast.
+"""
+
+from repro.analysis import render_table
+from repro.apps import LRApp, LRSpec
+from repro.baselines import NaiadCluster
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+
+from conftest import emit, once
+
+ITERATIONS = 20
+MIGRATE_EVERY = 5
+WARMUP = 4  # template installation iterations before measurement starts
+
+
+def run_baseline(cluster_cls, num_workers):
+    """20 iterations with no migrations (for the paper's Naiad methodology:
+    'the curve here is simulated from the numbers in Table 3 and Fig 7a')."""
+    spec = LRSpec(num_workers=num_workers, iterations=WARMUP + ITERATIONS)
+    app = LRApp(spec)
+
+    def program(job):
+        yield job.define(app.variables.definitions)
+        yield job.run(app.init_block)
+        for _ in range(WARMUP + ITERATIONS):
+            yield job.run(app.iteration_block, {"step": spec.step_size})
+
+    cluster = cluster_cls(num_workers, program, registry=app.registry)
+    cluster.run_until_finished(max_seconds=1e6)
+    ends = sorted(iv.end for iv in cluster.metrics.intervals["driver_block"]
+                  if iv.labels["block_id"] == "lr.iteration")
+    return ends[-1] - ends[WARMUP - 1]
+
+
+def run_with_migrations(cluster_cls, num_workers, fraction=0.05):
+    spec = LRSpec(num_workers=num_workers,
+                  iterations=WARMUP + ITERATIONS)
+    app = LRApp(spec)
+    box = {}
+    count = max(1, int(fraction * spec.num_partitions))
+    state = {"round": 0}
+
+    def migrate(controller):
+        # rotate a different 5% slice each time so moves never collide
+        offset = state["round"]
+        state["round"] += 1
+        stride = spec.num_partitions // count
+        moves = []
+        wts_key = ("lr.iteration", controller.current_version["lr.iteration"])
+        wts = controller.worker_templates[wts_key]
+        for i in range(count):
+            task = (i * stride + offset) % spec.num_partitions
+            src = wts.task_locations[task][0]
+            moves.append((task, (src + num_workers // 2) % num_workers))
+        controller.migrate_tasks("lr.iteration", moves)
+
+    def program(job):
+        yield job.define(app.variables.definitions)
+        yield job.run(app.init_block)
+        controller = box["cluster"].controller
+        for _ in range(WARMUP):  # install templates before measuring
+            yield job.run(app.iteration_block, {"step": spec.step_size})
+        for i in range(ITERATIONS):
+            if i % MIGRATE_EVERY == 0:  # 4 rounds: iterations 0/5/10/15
+                controller.deliver(P.ManagerDirective(migrate))
+            yield job.run(app.iteration_block, {"step": spec.step_size})
+
+    cluster = cluster_cls(num_workers, program, registry=app.registry)
+    box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e6)
+    # span of the 20 measured iterations (after the warm-up window)
+    ends = sorted(iv.end for iv in cluster.metrics.intervals["driver_block"]
+                  if iv.labels["block_id"] == "lr.iteration")
+    return ends[-1] - ends[WARMUP - 1], cluster.metrics
+
+
+def test_fig10_migration_overhead(benchmark, paper_scale):
+    num_workers = 100 if paper_scale else 20
+
+    rounds = ITERATIONS // MIGRATE_EVERY  # 4 migration events
+
+    def compare():
+        nimbus_time, nimbus_metrics = run_with_migrations(
+            NimbusCluster, num_workers)
+        naiad_measured, naiad_metrics = run_with_migrations(
+            NaiadCluster, num_workers)
+        naiad_base = run_baseline(NaiadCluster, num_workers)
+        return (nimbus_time, nimbus_metrics, naiad_measured, naiad_metrics,
+                naiad_base)
+
+    (nimbus_time, nimbus_metrics, naiad_measured, naiad_metrics,
+     naiad_base) = once(benchmark, compare)
+
+    # The paper's Naiad curve is *simulated* from Table 3 and Fig. 7a
+    # ("current Naiad implementation does not support any data flow
+    # flexibility once the job starts"). Reproduce the same arithmetic:
+    # steady iterations + one full 230 ms installation per change.
+    reinstall_s = 0.230
+    naiad_paper_method = naiad_base + rounds * reinstall_s
+
+    emit("")
+    emit(render_table(
+        f"Figure 10 — 20 LR iterations with 5% migration every 5 "
+        f"({num_workers} workers)",
+        ["system", "total time (s)", "mechanism", "events"],
+        [
+            ["Nimbus", round(nimbus_time, 3), "template edits",
+             f"{nimbus_metrics.count('edits_applied'):.0f} edit ops"],
+            ["Naiad (paper methodology)", round(naiad_paper_method, 3),
+             "full dataflow reinstall",
+             f"{rounds} reinstalls x 230 ms (Table 3)"],
+            ["Naiad (this simulator, reinstalls overlap)",
+             round(naiad_measured, 3), "full dataflow reinstall",
+             f"{naiad_metrics.count('naiad_installs'):.0f} installs"],
+        ]))
+    ratio = naiad_paper_method / nimbus_time
+    emit(f"Naiad/Nimbus completion ratio: {ratio:.2f}x "
+         f"(paper: 'almost twice as fast', ~1.9x)")
+
+    assert nimbus_metrics.count("edits_applied") > 0
+    assert naiad_metrics.count("naiad_installs") >= 1 + rounds
+    assert nimbus_time < naiad_measured
+    if paper_scale:
+        assert ratio > 1.4

@@ -1,0 +1,21 @@
+"""Reproduction of "Execution Templates: Caching Control Plane Decisions
+for Strong Scaling of Data Analytics" (Mashayekhi et al., USENIX ATC 2017).
+
+Public API layout:
+
+* :mod:`repro.core` — execution templates: controller/worker templates,
+  validation, patching, edits (the paper's contribution).
+* :mod:`repro.nimbus` — the Nimbus framework: controller, workers, driver,
+  mutable-object data model, command set, checkpointing.
+* :mod:`repro.sim` — the discrete-event substrate (virtual clock, actors,
+  network).
+* :mod:`repro.baselines` — Spark-like, Naiad-like, and MPI-like control
+  planes for comparison.
+* :mod:`repro.apps` — logistic regression, k-means, and the water
+  simulation proxy, plus dataset generators.
+* :mod:`repro.analysis` — iteration breakdowns and table/figure rendering.
+"""
+
+__version__ = "1.0.0"
+
+from .nimbus import NimbusCluster  # noqa: F401  (primary entry point)

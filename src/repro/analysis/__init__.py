@@ -1,0 +1,19 @@
+"""Analysis: turning run metrics into the paper's tables and figures."""
+
+from .breakdown import (
+    IterationBreakdown,
+    iteration_breakdowns,
+    mean_iteration_time,
+    task_throughput,
+)
+from .render import render_bars, render_series, render_table
+
+__all__ = [
+    "IterationBreakdown",
+    "iteration_breakdowns",
+    "mean_iteration_time",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "task_throughput",
+]

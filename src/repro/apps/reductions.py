@@ -1,0 +1,95 @@
+"""Application-level two-level reduction trees (§5.1).
+
+The Nimbus and Naiad versions of logistic regression and k-means use
+two-level reduction trees built from ordinary tasks and data copies: each
+worker reduces its local partials, group leaders reduce their group's
+per-worker partials, and a root task folds the group partials into the
+global value. The cross-worker copies are inserted automatically by the
+worker-template generator (or the central scheduler), because the group
+and root tasks read objects homed on other workers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.spec import LogicalTask, StageSpec
+from .datasets import Variables
+
+
+class ReductionTree:
+    """Plan of a two-level reduction over per-partition leaf objects."""
+
+    def __init__(
+        self,
+        variables: Variables,
+        name: str,
+        leaf_oids: Sequence[int],
+        leaf_home: Callable[[int], int],
+        num_workers: int,
+        partial_size: int,
+        group_size: Optional[int] = None,
+        root_worker: int = 0,
+    ):
+        self.name = name
+        self.num_workers = num_workers
+        self.leaf_oids = list(leaf_oids)
+        self.leaf_home = leaf_home
+        self.group_size = group_size or max(1, int(math.isqrt(num_workers)))
+        self.root_worker = root_worker
+        self.groups: List[List[int]] = [
+            list(range(g, min(g + self.group_size, num_workers)))
+            for g in range(0, num_workers, self.group_size)
+        ]
+        self.local_oids = variables.partitioned(
+            f"{name}.local", num_workers, partial_size, lambda w: w)
+        self.group_oids = variables.partitioned(
+            f"{name}.group", len(self.groups), partial_size,
+            lambda g: self.groups[g][0])
+        self.result_oid = variables.scalar(
+            f"{name}.result", partial_size, home=root_worker)
+
+    def leaves_on(self, worker: int) -> List[int]:
+        return [oid for p, oid in enumerate(self.leaf_oids)
+                if self.leaf_home(p) == worker]
+
+    def stages(
+        self,
+        local_fn: str,
+        group_fn: str,
+        root_fn: str,
+        extra_root_reads: Sequence[int] = (),
+        extra_root_writes: Sequence[int] = (),
+        root_param_slot: Optional[str] = None,
+    ) -> List[StageSpec]:
+        """Build the three reduction stages.
+
+        ``root_fn`` reads the group partials plus ``extra_root_reads`` and
+        writes ``result`` plus ``extra_root_writes`` (e.g. the updated model
+        coefficients for logistic regression).
+        """
+        local_tasks = [
+            LogicalTask(local_fn,
+                        read=tuple(self.leaves_on(w)),
+                        write=(self.local_oids[w],))
+            for w in range(self.num_workers)
+            if self.leaves_on(w)
+        ]
+        group_tasks = [
+            LogicalTask(group_fn,
+                        read=tuple(self.local_oids[w] for w in group),
+                        write=(self.group_oids[g],))
+            for g, group in enumerate(self.groups)
+        ]
+        root_task = LogicalTask(
+            root_fn,
+            read=tuple(self.group_oids) + tuple(extra_root_reads),
+            write=(self.result_oid,) + tuple(extra_root_writes),
+            param_slot=root_param_slot,
+        )
+        return [
+            StageSpec(f"{self.name}.local", local_tasks),
+            StageSpec(f"{self.name}.group", group_tasks),
+            StageSpec(f"{self.name}.root", [root_task]),
+        ]

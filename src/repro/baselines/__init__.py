@@ -1,0 +1,14 @@
+"""Comparison control planes: Spark-like, Naiad-like, and MPI-like."""
+
+from .mpi import MPICluster, make_mpi_costs
+from .naiad import NaiadCluster, NaiadController
+from .spark import SparkCluster, make_spark_costs
+
+__all__ = [
+    "MPICluster",
+    "NaiadCluster",
+    "NaiadController",
+    "SparkCluster",
+    "make_mpi_costs",
+    "make_spark_costs",
+]

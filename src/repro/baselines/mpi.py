@@ -1,0 +1,77 @@
+"""MPI-like baseline: application-level messaging, no control plane (§5.5).
+
+PhysBAM's hand-tuned MPI libraries statically partition the simulation;
+every rank runs the same loop and exchanges ghost regions directly with its
+neighbors. There is no controller work at all — and correspondingly no
+load rebalancing and no fault tolerance ("in practice developers rarely
+use them due to their brittle behavior", §5.5).
+
+The baseline is modeled as the same dataflow (tasks, ghost-exchange
+copies, reductions) executed with a zero-cost control plane: every
+controller/driver/worker control charge is zero, leaving only computation
+and data movement. This is the lower bound an ideal static schedule
+achieves, which is what the hand-tuned MPI numbers in Figure 11 represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from ..nimbus.cluster import NimbusCluster
+from ..nimbus.costs import CostModel, PAPER_COSTS
+from ..nimbus.runtime import FunctionRegistry
+
+
+def make_mpi_costs(base: Optional[CostModel] = None) -> CostModel:
+    """Zero out every control-plane cost; keep storage characteristics."""
+    base = base or PAPER_COSTS
+    return replace(
+        base,
+        central_schedule_per_task=0.0,
+        central_receive_per_task=0.0,
+        spark_schedule_per_task=0.0,
+        install_controller_template_per_task=0.0,
+        install_worker_template_controller_per_task=0.0,
+        install_worker_template_worker_per_task=0.0,
+        instantiate_controller_template_per_task=0.0,
+        instantiate_worker_template_auto_per_task=0.0,
+        instantiate_worker_template_validate_per_task=0.0,
+        edit_per_task=0.0,
+        patch_compute_per_copy=0.0,
+        patch_cache_invoke=0.0,
+        naiad_install_per_task=0.0,
+        naiad_callback_per_task=0.0,
+        worker_enqueue_per_command=0.0,
+        worker_instantiate_per_command=0.0,
+        worker_complete_per_command=0.0,
+        worker_edit_per_task=0.0,
+        controller_completion_per_task=0.0,
+        controller_block_completion=0.0,
+        message_handling=0.0,
+    )
+
+
+class MPICluster(NimbusCluster):
+    """An MPI-like deployment: the same dataflow with free control.
+
+    Templates are enabled purely as the cheapest execution vehicle; with
+    all control costs zeroed, iteration time is computation plus direct
+    data exchange — the static-schedule lower bound.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        program: Callable,
+        registry: Optional[FunctionRegistry] = None,
+        **kwargs,
+    ):
+        super().__init__(
+            num_workers,
+            program,
+            registry=registry,
+            costs=make_mpi_costs(),
+            use_templates=True,
+            **kwargs,
+        )

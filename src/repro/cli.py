@@ -1,0 +1,196 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Examples::
+
+    python -m repro lr --workers 50 --iterations 12
+    python -m repro lr --workers 50 --system spark
+    python -m repro kmeans --workers 20 --real
+    python -m repro water --workers 16 --scale 0.1
+    python -m repro regression --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import (
+    iteration_breakdowns,
+    mean_iteration_time,
+    render_table,
+    task_throughput,
+)
+from .apps import (
+    KMeansApp,
+    KMeansSpec,
+    LRApp,
+    LRSpec,
+    RegressionApp,
+    RegressionSpec,
+    WaterApp,
+    WaterSpec,
+)
+from .baselines import MPICluster, NaiadCluster, SparkCluster
+from .nimbus import NimbusCluster
+
+SYSTEMS = {
+    "nimbus": NimbusCluster,
+    "spark": SparkCluster,
+    "naiad": NaiadCluster,
+    "mpi": MPICluster,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=20,
+                        help="number of worker nodes")
+    parser.add_argument("--system", choices=sorted(SYSTEMS), default="nimbus",
+                        help="control plane to run under")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cluster_kwargs(args) -> dict:
+    kwargs = {"seed": args.seed}
+    if args.system == "nimbus" and getattr(args, "no_templates", False):
+        kwargs["use_templates"] = False
+    return kwargs
+
+
+def _summary(cluster, block_id: str, skip: int) -> None:
+    metrics = cluster.metrics
+    try:
+        iteration = mean_iteration_time(metrics, block_id, skip=skip)
+        throughput = task_throughput(metrics, block_id, skip=skip)
+        print(f"steady-state iteration time: {iteration * 1000:.2f} ms")
+        print(f"task throughput:             {throughput:,.0f} tasks/s")
+    except ValueError:
+        pass
+    print(render_table("control-plane counters", ["counter", "value"], [
+        [name, f"{metrics.count(name):.0f}"]
+        for name in (
+            "tasks_executed", "tasks_scheduled",
+            "controller_templates_installed", "template_instantiations",
+            "auto_validations", "full_validations",
+            "patches_computed", "patch_cache_hits", "edits_applied",
+        ) if metrics.count(name)
+    ]))
+    print(f"virtual time: {cluster.sim.now:.4f} s; "
+          f"events: {cluster.sim.events_run:,}")
+
+
+def cmd_lr(args) -> None:
+    spec = LRSpec(num_workers=args.workers, iterations=args.iterations,
+                  data_bytes=args.data_gb * 1e9, real_compute=args.real,
+                  seed=args.seed)
+    app = LRApp(spec)
+    cluster_cls = SYSTEMS[args.system]
+    cluster = cluster_cls(args.workers, app.program(blocking=args.blocking),
+                          registry=app.registry, **_cluster_kwargs(args))
+    cluster.run_until_finished(max_seconds=1e7)
+    print(f"logistic regression: {spec.num_partitions} partitions, "
+          f"{args.iterations} iterations, system={args.system}")
+    _summary(cluster, "lr.iteration", skip=args.iterations // 2)
+
+
+def cmd_kmeans(args) -> None:
+    spec = KMeansSpec(num_workers=args.workers, iterations=args.iterations,
+                      data_bytes=args.data_gb * 1e9, real_compute=args.real,
+                      seed=args.seed)
+    app = KMeansApp(spec)
+    cluster_cls = SYSTEMS[args.system]
+    cluster = cluster_cls(args.workers, app.program(blocking=args.blocking),
+                          registry=app.registry, **_cluster_kwargs(args))
+    cluster.run_until_finished(max_seconds=1e7)
+    print(f"k-means: {spec.num_partitions} partitions, "
+          f"{args.iterations} iterations, system={args.system}")
+    _summary(cluster, "km.iteration", skip=args.iterations // 2)
+
+
+def cmd_water(args) -> None:
+    spec = WaterSpec(num_workers=args.workers, scale=args.scale,
+                     frame_duration=args.frame_duration, frames=args.frames)
+    app = WaterApp(spec)
+    cluster_cls = SYSTEMS[args.system]
+    frame_log: list = []
+    cluster = cluster_cls(args.workers, app.program(frame_log=frame_log),
+                          registry=app.registry, **_cluster_kwargs(args))
+    cluster.run_until_finished(max_seconds=1e7)
+    print(f"water simulation: {app.num_variables} variables, "
+          f"{spec.num_partitions} partitions, system={args.system}")
+    boundaries = [0.0] + frame_log
+    for i, (a, b) in enumerate(zip(boundaries, boundaries[1:])):
+        print(f"  frame {i}: {b - a:.3f} s")
+    _summary(cluster, "water.cg", skip=0)
+
+
+def cmd_regression(args) -> None:
+    spec = RegressionSpec(num_workers=args.workers, seed=args.seed)
+    app = RegressionApp(spec)
+    cluster_cls = SYSTEMS[args.system]
+    cluster = cluster_cls(args.workers, app.program(),
+                          registry=app.registry, **_cluster_kwargs(args))
+    cluster.run_until_finished(max_seconds=1e7)
+    errors = [iv.labels["results"].get("error")
+              for iv in cluster.metrics.intervals["block"]
+              if iv.labels["block_id"] == "reg.estimate"]
+    print(f"nested regression (Figure 3): {len(errors)} outer iterations, "
+          f"final error {errors[-1]:.4f}" if errors else "no outer iterations")
+    _summary(cluster, "reg.optimize", skip=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Execution-templates reproduction: run the paper's "
+                    "workloads on a simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lr = sub.add_parser("lr", help="logistic regression (Figs. 1/7a/8/9/10)")
+    _add_common(lr)
+    lr.add_argument("--iterations", type=int, default=12)
+    lr.add_argument("--data-gb", type=float, default=100.0)
+    lr.add_argument("--real", action="store_true",
+                    help="run real numpy task bodies (small scale)")
+    lr.add_argument("--blocking", action="store_true",
+                    help="driver waits for each iteration")
+    lr.add_argument("--no-templates", action="store_true",
+                    help="disable execution templates (central scheduling)")
+    lr.set_defaults(fn=cmd_lr)
+
+    km = sub.add_parser("kmeans", help="k-means clustering (Fig. 7b)")
+    _add_common(km)
+    km.add_argument("--iterations", type=int, default=12)
+    km.add_argument("--data-gb", type=float, default=100.0)
+    km.add_argument("--real", action="store_true")
+    km.add_argument("--blocking", action="store_true")
+    km.add_argument("--no-templates", action="store_true")
+    km.set_defaults(fn=cmd_kmeans)
+
+    water = sub.add_parser("water", help="water-simulation proxy (Fig. 11)")
+    _add_common(water)
+    water.add_argument("--scale", type=float, default=0.1,
+                       help="stage-duration scale factor")
+    water.add_argument("--frames", type=int, default=1)
+    water.add_argument("--frame-duration", type=float, default=0.004)
+    water.add_argument("--no-templates", action="store_true")
+    water.set_defaults(fn=cmd_water)
+
+    reg = sub.add_parser("regression",
+                         help="the paper's Figure-3 nested training loop")
+    _add_common(reg)
+    reg.add_argument("--no-templates", action="store_true")
+    reg.set_defaults(fn=cmd_regression)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

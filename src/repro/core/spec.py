@@ -1,0 +1,98 @@
+"""Driver-level program structures: logical tasks, stages, basic blocks.
+
+A driver program is a sequence of **basic blocks** (§2.1): straight-line
+code sequences with one entry point and no internal branches. Each block is
+a list of **stages**; a stage is a parallel computation that expands into
+one logical task per partition. Blocks are the unit of template
+installation and instantiation.
+
+Block structure must be identical across executions of the same
+``block_id`` — only the parameter values (and the fresh task identifiers)
+change. That is the template contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class LogicalTask:
+    """One task of a stage: a function applied to read/write object sets.
+
+    ``param_slot`` names the entry of the block's parameter dictionary
+    passed to the task at instantiation (the template caches the slot name,
+    not the value).
+    """
+
+    __slots__ = ("function", "read", "write", "param_slot")
+
+    def __init__(
+        self,
+        function: str,
+        read: Iterable[int] = (),
+        write: Iterable[int] = (),
+        param_slot: Optional[str] = None,
+    ):
+        self.function = function
+        self.read = tuple(read)
+        self.write = tuple(write)
+        self.param_slot = param_slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LTask {self.function} r={self.read} w={self.write}>"
+
+
+class StageSpec:
+    """A named parallel stage: many tasks, typically one per partition."""
+
+    __slots__ = ("name", "tasks")
+
+    def __init__(self, name: str, tasks: List[LogicalTask]):
+        self.name = name
+        self.tasks = tasks
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+class BlockSpec:
+    """A basic block: stages plus declared returns.
+
+    ``returns`` maps result names to object ids whose post-block value is
+    reported back to the driver (this is how data-dependent loop conditions
+    such as ``error > threshold`` are fed to the driver program).
+    """
+
+    def __init__(
+        self,
+        block_id: str,
+        stages: List[StageSpec],
+        returns: Optional[Dict[str, int]] = None,
+    ):
+        self.block_id = block_id
+        self.stages = stages
+        self.returns = dict(returns or {})
+        self.num_tasks = sum(len(stage) for stage in stages)
+
+    def all_tasks(self) -> List[Tuple[str, LogicalTask]]:
+        """Flatten to (stage_name, task) pairs in program order."""
+        out = []
+        for stage in self.stages:
+            for task in stage.tasks:
+                out.append((stage.name, task))
+        return out
+
+    def structure_signature(self) -> Tuple:
+        """A hashable signature of the block structure (ignores params).
+
+        Used by tests and the driver to assert that repeated submissions of
+        the same ``block_id`` really are the same basic block.
+        """
+        return tuple(
+            (stage.name, tuple((t.function, t.read, t.write, t.param_slot)
+                               for t in stage.tasks))
+            for stage in self.stages
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.block_id}: {len(self.stages)} stages, {self.num_tasks} tasks>"

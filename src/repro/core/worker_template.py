@@ -1,0 +1,359 @@
+"""Worker templates (§2.2, §4.1, Figure 5b).
+
+A worker template describes the portion of a basic block that runs on one
+worker: its task commands plus the data copies exchanged with other
+workers. It has two halves:
+
+* the **controller half** (:class:`WorkerTemplateSet`) represents the whole
+  execution across all workers. It caches how tasks are distributed, each
+  worker's **preconditions** (data objects that must hold their latest
+  version locally when the template starts), and the **directory delta**
+  the block applies to the controller's object-version map.
+* the **worker half** (:class:`WorkerHalf`) is the per-worker command graph
+  cached at the worker, instantiated by filling in a command-id base and a
+  parameter block (Figure 5b), optionally after applying in-place edits.
+
+Generation implements the paper's first validation optimization (§4.2):
+copies are appended at the end of the template so that its *postconditions
+imply its own preconditions* — tight inner loops then validate
+automatically with no per-object checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from ..nimbus.commands import Command, CommandKind
+from .controller_template import ControllerTemplate
+
+
+class TemplateEntry:
+    """Fixed structure of one command in a worker template."""
+
+    __slots__ = ("index", "kind", "function", "read", "write", "before",
+                 "param_slot", "dst_worker", "dst_index", "src_worker",
+                 "size_bytes", "report", "ct_index")
+
+    def __init__(
+        self,
+        index: int,
+        kind: CommandKind,
+        read: Tuple[int, ...] = (),
+        write: Tuple[int, ...] = (),
+        before: Tuple[int, ...] = (),
+        function: Optional[str] = None,
+        param_slot: Optional[str] = None,
+        dst_worker: Optional[int] = None,
+        dst_index: Optional[int] = None,
+        src_worker: Optional[int] = None,
+        size_bytes: int = 0,
+        report: bool = False,
+        ct_index: Optional[int] = None,
+    ):
+        self.index = index
+        self.kind = kind
+        self.read = tuple(read)
+        self.write = tuple(write)
+        self.before = tuple(before)
+        self.function = function
+        self.param_slot = param_slot
+        self.dst_worker = dst_worker
+        self.dst_index = dst_index
+        self.src_worker = src_worker
+        self.size_bytes = size_bytes
+        self.report = report
+        self.ct_index = ct_index  # originating controller-template entry
+
+    def clone(self) -> "TemplateEntry":
+        return TemplateEntry(
+            self.index, self.kind, self.read, self.write, self.before,
+            self.function, self.param_slot, self.dst_worker, self.dst_index,
+            self.src_worker, self.size_bytes, self.report, self.ct_index,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TEntry {self.index} {self.kind.name} "
+                f"fn={self.function} before={self.before}>")
+
+
+class DirectoryDelta:
+    """Cached effect of one block instance on the object directory.
+
+    ``write_counts[oid]`` is how many version bumps the block applies;
+    ``final_holders[oid]`` is the set of workers holding the final version
+    when the block (including its postcondition-closure copies) completes.
+    """
+
+    def __init__(self, write_counts: Dict[int, int],
+                 final_holders: Dict[int, FrozenSet[int]]):
+        self.write_counts = dict(write_counts)
+        self.final_holders = {k: frozenset(v) for k, v in final_holders.items()}
+
+    def apply(self, directory) -> None:
+        for oid, bumps in self.write_counts.items():
+            directory.apply_block_delta(oid, bumps, self.final_holders[oid])
+
+
+class WorkerTemplateSet:
+    """Controller half of the worker templates for one (block, assignment).
+
+    Holds per-worker entry lists, preconditions, the directory delta, and
+    bookkeeping for which workers have the worker half installed.
+    """
+
+    def __init__(
+        self,
+        block_id: str,
+        version: int,
+        entries: Dict[int, List[TemplateEntry]],
+        preconditions: Dict[int, FrozenSet[int]],
+        delta: DirectoryDelta,
+        returns: Dict[str, int],
+        report_entries: Dict[int, List[int]],
+    ):
+        self.block_id = block_id
+        self.version = version
+        self.entries = entries  # worker -> [TemplateEntry]
+        self.preconditions = preconditions  # worker -> frozenset(oid)
+        self.delta = delta
+        self.returns = returns  # result name -> oid
+        self.report_entries = report_entries  # worker -> [entry indices]
+        self.installed_on: Set[int] = set()
+        #: input objects relocated by the most recent plan_migration call
+        self.last_relocations: List[int] = []
+        #: controller-template entry index -> (worker, local index)
+        self.task_locations: Dict[int, Tuple[int, int]] = {
+            entry.ct_index: (worker, entry.index)
+            for worker, lst in entries.items()
+            for entry in lst
+            if entry is not None and entry.ct_index is not None
+        }
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.block_id, self.version)
+
+    def workers(self) -> List[int]:
+        return [w for w, lst in self.entries.items() if lst]
+
+    def num_commands(self) -> int:
+        return sum(len(lst) for lst in self.entries.values())
+
+    def entry_count(self, worker: int) -> int:
+        return len(self.entries.get(worker, ()))
+
+
+def generate_worker_templates(
+    template: ControllerTemplate,
+    object_sizes: Dict[int, int],
+    version: int = 0,
+) -> WorkerTemplateSet:
+    """Generate worker templates from a controller template.
+
+    Walks the controller template in program order assuming every
+    precondition holds, inserting only *structural* copies (producer and
+    consumer on different workers). State-dependent copies are never baked
+    in — they are the province of patches (§2.4). Finally the template is
+    closed under its own preconditions (§4.2 optimization 1).
+    """
+    per_worker: Dict[int, List[TemplateEntry]] = {}
+    # oid -> {worker: providing local index or None (precondition-fresh)}
+    avail: Dict[int, Dict[int, Optional[int]]] = {}
+    written_in_block: Set[int] = set()
+    final_writer: Dict[int, int] = {}
+    write_counts: Dict[int, int] = {}
+    # (oid, worker) -> local indices reading the current local version
+    local_readers: Dict[Tuple[int, int], List[int]] = {}
+    preconds: Dict[int, Set[int]] = {}
+
+    def wlist(w: int) -> List[TemplateEntry]:
+        return per_worker.setdefault(w, [])
+
+    def add_copy(oid: int, src: int, src_idx: Optional[int], dst: int) -> int:
+        """Insert a SEND on src and a RECV on dst; returns the recv index."""
+        src_list, dst_list = wlist(src), wlist(dst)
+        recv_index = len(dst_list)
+        send_before = (src_idx,) if src_idx is not None else ()
+        send = TemplateEntry(
+            index=len(src_list), kind=CommandKind.SEND, read=(oid,),
+            before=send_before, dst_worker=dst, dst_index=recv_index,
+            size_bytes=object_sizes.get(oid, 0),
+        )
+        src_list.append(send)
+        local_readers.setdefault((oid, src), []).append(send.index)
+        recv_before = tuple(local_readers.get((oid, dst), ()))
+        recv = TemplateEntry(
+            index=recv_index, kind=CommandKind.RECV, write=(oid,),
+            before=recv_before, src_worker=src,
+            size_bytes=object_sizes.get(oid, 0),
+        )
+        dst_list.append(recv)
+        avail.setdefault(oid, {})[dst] = recv_index
+        local_readers[(oid, dst)] = []
+        return recv_index
+
+    for ct_entry in template.entries:
+        w = ct_entry.worker
+        lst = wlist(w)
+        before: Set[int] = set()
+        for oid in ct_entry.read:
+            if oid not in written_in_block:
+                # Read of pre-block state: precondition on this worker.
+                preconds.setdefault(w, set()).add(oid)
+                avail.setdefault(oid, {}).setdefault(w, None)
+            else:
+                holders = avail[oid]
+                if w in holders:
+                    if holders[w] is not None:
+                        before.add(holders[w])
+                else:
+                    src = final_writer[oid]
+                    recv_index = add_copy(oid, src, holders[src], w)
+                    before.add(recv_index)
+        for oid in ct_entry.write:
+            holders = avail.get(oid, {})
+            local = holders.get(w)
+            if local is not None:
+                before.add(local)
+            before.update(local_readers.get((oid, w), ()))
+        my_index = len(lst)
+        entry = TemplateEntry(
+            index=my_index, kind=CommandKind.TASK,
+            read=ct_entry.read, write=ct_entry.write,
+            before=tuple(sorted(before)),
+            function=ct_entry.function, param_slot=ct_entry.param_slot,
+            ct_index=ct_entry.index,
+        )
+        lst.append(entry)
+        for oid in ct_entry.read:
+            local_readers.setdefault((oid, w), []).append(my_index)
+        for oid in ct_entry.write:
+            written_in_block.add(oid)
+            final_writer[oid] = w
+            write_counts[oid] = write_counts.get(oid, 0) + 1
+            avail[oid] = {w: my_index}
+            local_readers[(oid, w)] = []
+
+    # Postcondition closure (§4.2 opt. 1): every precondition object that
+    # the block overwrote is copied back to the workers that require it, so
+    # repeated instantiation of this template auto-validates.
+    for w, oids in sorted(preconds.items()):
+        for oid in sorted(oids):
+            if oid in written_in_block and w not in avail[oid]:
+                src = final_writer[oid]
+                add_copy(oid, src, avail[oid][src], w)
+
+    # Report flags: the final writer entry of each returned object reports
+    # its value to the controller with its completion.
+    report_entries: Dict[int, List[int]] = {}
+    for oid in template.returns.values():
+        if oid in final_writer:
+            w = final_writer[oid]
+            idx = None
+            # final local version provider on the final writer
+            holders = avail[oid]
+            idx = holders[w]
+            if idx is not None:
+                per_worker[w][idx].report = True
+                report_entries.setdefault(w, []).append(idx)
+
+    final_holders = {
+        oid: frozenset(avail[oid].keys()) for oid in written_in_block
+    }
+    delta = DirectoryDelta(write_counts, final_holders)
+    preconditions = {w: frozenset(oids) for w, oids in preconds.items()}
+    return WorkerTemplateSet(
+        template.block_id, version, per_worker, preconditions, delta,
+        template.returns, report_entries,
+    )
+
+
+def copy_tag(instance_id: Hashable, dst_worker: int, dst_index: int) -> Tuple:
+    """Matching tag for a templated SEND/RECV pair.
+
+    Globally unique because instance ids are; computable independently by
+    sender and receiver from cached structure plus the instantiation
+    message — no controller lookups at runtime (requirement 2 of §3.1).
+    """
+    return (instance_id, dst_worker, dst_index)
+
+
+def instantiate_entries(
+    entries: List[TemplateEntry],
+    worker_id: int,
+    instance_id: Hashable,
+    cid_base: int,
+    params: Dict[str, Any],
+) -> List[Command]:
+    """Fill a worker half's entries into concrete commands (Figure 5b).
+
+    ``cid = cid_base + index``; before sets are rebased the same way.
+    Entries removed by edits are tombstoned (``None``) and skipped, but
+    their indices remain reserved so cached before sets stay valid.
+    """
+    commands: List[Command] = []
+    for entry in entries:
+        if entry is None:  # tombstoned by an edit
+            continue
+        cid = cid_base + entry.index
+        before = [cid_base + j for j in entry.before]
+        if entry.kind == CommandKind.TASK:
+            cmd = Command(
+                cid, CommandKind.TASK, worker_id,
+                read=entry.read, write=entry.write, before=before,
+                params=params.get(entry.param_slot)
+                if entry.param_slot else None,
+                function=entry.function,
+            )
+        elif entry.kind == CommandKind.SEND:
+            cmd = Command(
+                cid, CommandKind.SEND, worker_id,
+                read=entry.read, before=before,
+                dst_worker=entry.dst_worker,
+                tag=copy_tag(instance_id, entry.dst_worker, entry.dst_index),
+                size_bytes=entry.size_bytes,
+            )
+        elif entry.kind == CommandKind.RECV:
+            cmd = Command(
+                cid, CommandKind.RECV, worker_id,
+                write=entry.write, before=before,
+                src_worker=entry.src_worker,
+                tag=copy_tag(instance_id, worker_id, entry.index),
+                size_bytes=entry.size_bytes,
+            )
+        else:
+            raise ValueError(f"unexpected template entry kind {entry.kind}")
+        commands.append(cmd)
+    return commands
+
+
+class WorkerHalf:
+    """The worker-resident half of a worker template (§4.1).
+
+    The worker caches multiple halves keyed by (block_id, version) so the
+    controller can move between several schedules by invoking different
+    sets of templates (§2.3).
+    """
+
+    def __init__(self, block_id: str, version: int,
+                 entries: List[TemplateEntry], reports: List[int]):
+        self.block_id = block_id
+        self.version = version
+        self.entries: List[Optional[TemplateEntry]] = list(entries)
+        self.reports = set(reports)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.block_id, self.version)
+
+    def live_entries(self) -> List[TemplateEntry]:
+        return [e for e in self.entries if e is not None]
+
+    def num_commands(self) -> int:
+        return sum(1 for e in self.entries if e is not None)
+
+    def instantiate(self, worker_id: int, instance_id: Hashable,
+                    cid_base: int, params: Dict[str, Any]) -> List[Command]:
+        return instantiate_entries(
+            self.entries, worker_id, instance_id, cid_base, params,
+        )

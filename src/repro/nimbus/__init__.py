@@ -1,0 +1,41 @@
+"""Nimbus: the analytics framework hosting execution templates (§3).
+
+Exports the cluster builder, controller/worker/driver actors, the data
+model, the command set, the calibrated cost model, and the task runtime.
+"""
+
+from .cluster import NimbusCluster
+from .commands import Command, CommandKind, make_copy_pair, make_task
+from .controller import Controller
+from .costs import CostModel, PAPER_COSTS
+from .data import (
+    LogicalObject,
+    ObjectDirectory,
+    ObjectStore,
+    PartitionPlacement,
+)
+from .driver import Driver, Job
+from .runtime import FunctionRegistry, TaskContext, TaskFunction
+from .worker import DurableStorage, Worker
+
+__all__ = [
+    "Command",
+    "CommandKind",
+    "Controller",
+    "CostModel",
+    "Driver",
+    "DurableStorage",
+    "FunctionRegistry",
+    "Job",
+    "LogicalObject",
+    "NimbusCluster",
+    "ObjectDirectory",
+    "ObjectStore",
+    "PAPER_COSTS",
+    "PartitionPlacement",
+    "TaskContext",
+    "TaskFunction",
+    "Worker",
+    "make_copy_pair",
+    "make_task",
+]

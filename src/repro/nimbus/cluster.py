@@ -1,0 +1,119 @@
+"""Cluster assembly: wire up a simulated Nimbus deployment.
+
+:class:`NimbusCluster` builds the simulator, network, controller, workers,
+and driver, mirroring the paper's testbed topology (§5.1): workers modeled
+on c3.2xlarge (8 cores), all nodes in one full-bisection placement group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..sim.actor import Actor
+from ..sim.engine import Simulator
+from ..sim.metrics import Metrics
+from ..sim.network import Network
+from ..sim.rng import SeedSequence
+from .controller import Controller
+from .costs import CostModel, PAPER_COSTS
+from .driver import Driver, Job
+from .runtime import FunctionRegistry
+from .worker import DurableStorage, Worker
+
+
+class NimbusCluster:
+    """A fully wired simulated Nimbus deployment."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        program: Callable[[Job], Iterable],
+        registry: Optional[FunctionRegistry] = None,
+        costs: Optional[CostModel] = None,
+        use_templates: bool = True,
+        slots_per_worker: int = 8,
+        seed: int = 0,
+        latency: float = 100e-6,
+        bandwidth: float = 1.25e9,
+        checkpoint_every: Optional[int] = None,
+        heartbeat_timeout: float = 3.0,
+        straggler_scales: Optional[Dict[int, float]] = None,
+    ):
+        self.sim = Simulator()
+        self.metrics = Metrics()
+        self.seeds = SeedSequence(seed)
+        self.network = Network(self.sim, latency=latency, bandwidth=bandwidth)
+        self.costs = costs or PAPER_COSTS
+        self.registry = registry or FunctionRegistry()
+        self.storage = DurableStorage()
+
+        self.controller = Controller(
+            self.sim, self.costs, self.metrics,
+            slots_per_worker=slots_per_worker,
+            checkpoint_every=checkpoint_every,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        self.network.attach(self.controller)
+
+        straggler_scales = straggler_scales or {}
+        self.workers: Dict[int, Worker] = {}
+        for wid in range(num_workers):
+            worker = Worker(
+                self.sim, wid, self.controller, self.registry, self.costs,
+                self.metrics, self.storage, slots=slots_per_worker,
+                duration_scale=straggler_scales.get(wid, 1.0),
+            )
+            self.network.attach(worker)
+            self.workers[wid] = worker
+        for worker in self.workers.values():
+            worker.peers = self.workers
+        self.controller.attach_workers(self.workers)
+
+        self.driver = Driver(
+            self.sim, self.controller, program, self.metrics,
+            use_templates=use_templates,
+        )
+        self.network.attach(self.driver)
+        self.controller.driver = self.driver
+
+    @property
+    def job(self) -> Job:
+        return self.driver.job
+
+    def start_fault_tolerance(self, heartbeat_interval: float = 0.5,
+                              check_interval: float = 1.0) -> None:
+        """Enable heartbeats and the controller failure detector."""
+        for worker in self.workers.values():
+            worker.start_heartbeats(heartbeat_interval)
+        self.controller.start_failure_detector(check_interval)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> Job:
+        """Start the driver program and run the simulation.
+
+        Returns the job handle; ``job.finished`` tells whether the program
+        ran to completion.
+        """
+        self.driver.start()
+        self.sim.run(until=until, max_events=max_events)
+        return self.job
+
+    def run_until_finished(self, max_seconds: float = 1e6) -> Job:
+        """Run until the driver program completes.
+
+        Steps the simulation event by event so that background timers
+        (heartbeats, failure detection) do not keep it alive forever once
+        the program is done.
+        """
+        self.driver.start()
+        while not self.job.finished:
+            if not self.sim.step():
+                raise RuntimeError(
+                    "simulation drained before the driver program finished "
+                    "(deadlocked dataflow?)"
+                )
+            if self.sim.now > max_seconds:
+                raise RuntimeError(
+                    f"driver program did not finish by t={max_seconds}s"
+                )
+        return self.job

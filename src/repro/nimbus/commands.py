@@ -1,0 +1,180 @@
+"""The Nimbus control plane command set (§3.4).
+
+The control plane has four major command kinds: *data* commands (create /
+destroy objects), *copy* commands (modeled as an asynchronous SEND half on
+the source worker and a RECV half on the destination), *file* commands
+(load / save objects from durable storage), and *task* commands (execute an
+application function).
+
+Every command has five fields — a unique identifier, a read set, a write
+set, a *before set* of same-worker command ids that must complete first, and
+a parameter blob. Task commands add a sixth field, the application function.
+
+Copy matching: a SEND pushes its payload as soon as its before set is
+satisfied; the payload is tagged so the destination worker can match it to
+the corresponding RECV even if the data arrives before the RECV has been
+enqueued (the push model of §3.4).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .data import ObjectId, WorkerId
+
+CommandId = int
+
+
+class CommandKind(IntEnum):
+    TASK = 0
+    SEND = 1
+    RECV = 2
+    CREATE = 3
+    DESTROY = 4
+    LOAD = 5
+    SAVE = 6
+
+
+class Command:
+    """A concrete, runnable command dispatched to (or instantiated on) a worker.
+
+    ``before`` contains ids of commands *on the same worker*; remote
+    dependencies are always encoded through copy commands (§3.4).
+    """
+
+    __slots__ = (
+        "cid",
+        "kind",
+        "function",
+        "read",
+        "write",
+        "before",
+        "params",
+        "worker",
+        "dst_worker",
+        "src_worker",
+        "tag",
+        "size_bytes",
+    )
+
+    def __init__(
+        self,
+        cid: CommandId,
+        kind: CommandKind,
+        worker: WorkerId,
+        read: Tuple[ObjectId, ...] = (),
+        write: Tuple[ObjectId, ...] = (),
+        before: Iterable[CommandId] = (),
+        params: Any = None,
+        function: Optional[str] = None,
+        dst_worker: Optional[WorkerId] = None,
+        src_worker: Optional[WorkerId] = None,
+        tag: Optional[Hashable] = None,
+        size_bytes: int = 0,
+    ):
+        self.cid = cid
+        self.kind = kind
+        self.worker = worker
+        self.read = tuple(read)
+        self.write = tuple(write)
+        self.before = list(before)
+        self.params = params
+        self.function = function
+        self.dst_worker = dst_worker  # SEND only
+        self.src_worker = src_worker  # RECV only
+        self.tag = tag  # SEND/RECV matching tag
+        self.size_bytes = size_bytes  # payload size for copies
+
+    def conflicts(self) -> Tuple[Tuple[ObjectId, ...], Tuple[ObjectId, ...]]:
+        """(reads, writes) used for object-conflict dependency tracking."""
+        return self.read, self.write
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fn = f" fn={self.function}" if self.function else ""
+        return (
+            f"<Cmd {self.cid} {self.kind.name} w{self.worker}{fn} "
+            f"r={self.read} w={self.write} before={self.before}>"
+        )
+
+
+def make_task(
+    cid: CommandId,
+    worker: WorkerId,
+    function: str,
+    read: Tuple[ObjectId, ...],
+    write: Tuple[ObjectId, ...],
+    before: Iterable[CommandId] = (),
+    params: Any = None,
+) -> Command:
+    """Construct a task command."""
+    return Command(
+        cid,
+        CommandKind.TASK,
+        worker,
+        read=read,
+        write=write,
+        before=before,
+        params=params,
+        function=function,
+    )
+
+
+def make_copy_pair(
+    send_cid: CommandId,
+    recv_cid: CommandId,
+    oid: ObjectId,
+    src: WorkerId,
+    dst: WorkerId,
+    send_before: Iterable[CommandId] = (),
+    recv_before: Iterable[CommandId] = (),
+    size_bytes: int = 0,
+) -> Tuple[Command, Command]:
+    """Construct a matched (SEND, RECV) copy pair moving ``oid`` src → dst.
+
+    The shared tag is the receive command id, which is unique system-wide.
+    """
+    tag = ("cid", recv_cid)
+    send = Command(
+        send_cid,
+        CommandKind.SEND,
+        src,
+        read=(oid,),
+        before=send_before,
+        dst_worker=dst,
+        tag=tag,
+        size_bytes=size_bytes,
+    )
+    recv = Command(
+        recv_cid,
+        CommandKind.RECV,
+        dst,
+        write=(oid,),
+        before=recv_before,
+        src_worker=src,
+        tag=tag,
+        size_bytes=size_bytes,
+    )
+    return send, recv
+
+
+def make_local_copy(
+    cid: CommandId,
+    worker: WorkerId,
+    src_oid: ObjectId,
+    dst_oid: ObjectId,
+    before: Iterable[CommandId] = (),
+    size_bytes: int = 0,
+) -> Command:
+    """An intra-worker copy from one object to another (no network)."""
+    return Command(
+        cid,
+        CommandKind.TASK,
+        worker,
+        read=(src_oid,),
+        write=(dst_oid,),
+        before=before,
+        function="__local_copy__",
+        params={"src": src_oid, "dst": dst_oid},
+        size_bytes=size_bytes,
+    )

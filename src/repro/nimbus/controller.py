@@ -1,0 +1,787 @@
+"""The Nimbus controller (§3.2, §4).
+
+The controller receives blocks from the driver, transforms them into an
+execution plan, and dispatches commands to workers. Execution templates
+live here: per basic block the controller moves through four phases,
+matching the installation staircase of Figure 9:
+
+* ``CENTRAL`` — no template: the block's task stream is scheduled centrally,
+  one dispatch message per command (134 µs/task). If the driver marked the
+  block, the stream is simultaneously captured into a controller template
+  (+25 µs/task).
+* ``CT_READY`` — the controller template exists: instantiation requests are
+  parameter fills (0.2 µs/task); tasks are still dispatched centrally while
+  the controller half of the worker templates is generated (+15 µs/task).
+* ``WT_GENERATED`` — worker halves are shipped to the workers (9 µs/task at
+  each worker) alongside one last central dispatch.
+* ``WT_INSTALLED`` — the steady state: validate (auto 1.7 µs/task, full
+  7.3 µs/task), patch if needed, and send one instantiation message per
+  worker — n+1 control messages for the whole iteration (§2.2).
+
+The controller also owns the object directory, the patch cache, edit-based
+migration, eviction/restore of workers (Figure 9), checkpointing, and
+failure recovery (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from ..core.controller_template import ControllerTemplate
+from ..core.edits import plan_migrations
+from ..core.patching import Patch, PatchCache, build_patch
+from ..core.spec import BlockSpec
+from ..core.validation import ValidationState, full_validate
+from ..core.worker_template import WorkerTemplateSet, generate_worker_templates
+from ..sim.actor import Actor, Message
+from ..sim.engine import Simulator
+from ..sim.metrics import Metrics
+from .commands import Command, CommandKind, make_copy_pair, make_task
+from .costs import CostModel
+from .data import LogicalObject, ObjectDirectory, PartitionPlacement
+from . import protocol as P
+
+
+class _BlockRun:
+    """Tracks one in-flight block instance until completion."""
+
+    __slots__ = ("seq", "block_id", "num_tasks", "mode", "outstanding",
+                 "expected_workers", "results", "return_cids", "start_time",
+                 "compute_by_worker", "instance_id", "request_id", "open")
+
+    def __init__(self, seq, block_id, num_tasks, mode, start_time,
+                 request_id=0):
+        self.seq = seq
+        self.block_id = block_id
+        self.num_tasks = num_tasks
+        self.mode = mode  # "central" | "template"
+        self.outstanding = 0  # commands (central) or worker acks (template)
+        self.expected_workers: Set[int] = set()
+        self.results: Dict[str, Any] = {}
+        self.return_cids: Dict[int, Tuple[str, int]] = {}  # cid -> (name, oid)
+        self.start_time = start_time
+        self.compute_by_worker: Dict[int, float] = {}
+        self.instance_id: Optional[int] = None
+        self.request_id = request_id
+        #: True while the scheduler still has commands to dispatch for this
+        #: run (staged dispatch must not complete the block at a barrier)
+        self.open = False
+
+
+class Controller(Actor):
+    """Centralized Nimbus controller with execution-template support."""
+
+    # template phases per block
+    PHASE_NONE = 0
+    PHASE_CT_READY = 1
+    PHASE_WT_GENERATED = 2
+    PHASE_WT_INSTALLED = 3
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        metrics: Metrics,
+        slots_per_worker: int = 8,
+        checkpoint_every: Optional[int] = None,
+        heartbeat_timeout: float = 3.0,
+        edit_threshold: float = 0.25,
+    ):
+        super().__init__(sim, "controller")
+        self.costs = costs
+        self.metrics = metrics
+        self.slots_per_worker = slots_per_worker
+        self.checkpoint_every = checkpoint_every
+        self.heartbeat_timeout = heartbeat_timeout
+        #: migrations touching more than this fraction of a template's tasks
+        #: trigger a re-install instead of edits (§2.3)
+        self.edit_threshold = edit_threshold
+
+        self.driver = None  # attached by the cluster
+        self.workers: Dict[int, Actor] = {}
+        self.live_workers: Set[int] = set()
+        self.directory = ObjectDirectory()
+        self.placement: Optional[PartitionPlacement] = None
+
+        # template state
+        self.templates: Dict[str, ControllerTemplate] = {}
+        self.phase: Dict[str, int] = {}
+        # (block_id, version) -> WorkerTemplateSet
+        self.worker_templates: Dict[Tuple[str, int], WorkerTemplateSet] = {}
+        self.current_version: Dict[str, int] = {}
+        self.assignments: Dict[Tuple[str, int], List[int]] = {}
+        self.validation_state = ValidationState()
+        self.patch_cache = PatchCache()
+        self._prev_block_key: Hashable = "job-start"
+        # (block_id, version) -> {worker: [EditOp]} pending application
+        self.pending_edits: Dict[Tuple[str, int], Dict[int, list]] = {}
+
+        # id allocation
+        self._next_cid = 1
+        self._next_instance = 1
+        self._next_seq = 1
+        self._next_checkpoint = 1
+
+        # per-block-run state
+        self.runs: Dict[int, _BlockRun] = {}
+        self._blocks_since_checkpoint = 0
+        self._results_history: List[Tuple[str, Dict[str, Any]]] = []
+
+        # central-path copy tracking: oid -> {worker: providing cid}
+        self._holder_cids: Dict[int, Dict[int, int]] = {}
+
+        # checkpoint / recovery state
+        self._checkpoint_acks: Set[int] = set()
+        self._halt_acks: Set[int] = set()
+        self._load_acks: Set[int] = set()
+        self._last_committed_checkpoint: Optional[int] = None
+        self._checkpoint_snapshots: Dict[int, Tuple] = {}
+        self._recovering = False
+        self._checkpointing = False
+        self._last_heartbeat: Dict[int, float] = {}
+        self._failed_workers: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach_workers(self, workers: Dict[int, Actor]) -> None:
+        self.workers = dict(workers)
+        self.live_workers = set(workers)
+        self.placement = PartitionPlacement(sorted(workers))
+
+    def start_failure_detector(self, check_interval: float = 1.0) -> None:
+        self._hb_check_interval = check_interval
+        for w in self.live_workers:
+            self._last_heartbeat[w] = self.sim.now
+        self.call_later(check_interval, self._check_heartbeats)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        if isinstance(msg, P.CommandComplete):
+            self._on_command_complete(msg)
+        elif isinstance(msg, P.InstanceComplete):
+            self._on_instance_complete(msg)
+        elif isinstance(msg, P.SubmitBlock):
+            self._on_submit_block(msg)
+        elif isinstance(msg, P.InstantiateBlock):
+            self._on_instantiate_block(msg)
+        elif isinstance(msg, P.DefineObjects):
+            self._on_define_objects(msg)
+        elif isinstance(msg, P.UndefineObjects):
+            self._on_undefine_objects(msg)
+        elif isinstance(msg, P.Heartbeat):
+            self._last_heartbeat[msg.worker_id] = self.sim.now
+        elif isinstance(msg, P.CheckpointAck):
+            self._on_checkpoint_ack(msg)
+        elif isinstance(msg, P.HaltAck):
+            self._on_halt_ack(msg)
+        elif isinstance(msg, P.LoadAck):
+            self._on_load_ack(msg)
+        elif isinstance(msg, P.ManagerDirective):
+            msg.action(self)
+        else:
+            raise TypeError(f"controller got unexpected message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Object definition
+    # ------------------------------------------------------------------
+    def _on_define_objects(self, msg: P.DefineObjects) -> None:
+        per_worker: Dict[int, List[int]] = {}
+        for oid, variable, partition, size, home in msg.objects:
+            obj = LogicalObject(oid, variable, partition, size)
+            worker = self.placement.place(oid, home)
+            self.directory.register(obj, worker)
+            per_worker.setdefault(worker, []).append(oid)
+        self.charge(self.costs.message_handling * max(1, len(msg.objects) // 64))
+        for worker, oids in per_worker.items():
+            self.send(self.workers[worker], P.CreateObjects(oids))
+        self.send(self.driver, P.ObjectsReady())
+
+    def _on_undefine_objects(self, msg: P.UndefineObjects) -> None:
+        """Destroy logical objects everywhere (data commands, §3.4).
+
+        Installed templates referencing the objects become invalid; the
+        driver is responsible for only undefining objects its remaining
+        blocks no longer touch (as in the paper, where the driver owns
+        the data lifecycle).
+        """
+        self.charge(self.costs.message_handling)
+        per_worker: Dict[int, List[int]] = {}
+        for oid in msg.oids:
+            if oid not in self.directory:
+                continue
+            for holders in [self.directory._holders.get(oid, {})]:
+                for worker in holders:
+                    per_worker.setdefault(worker, []).append(oid)
+            self.directory.unregister(oid)
+            self._holder_cids.pop(oid, None)
+        for worker, oids in per_worker.items():
+            if worker in self.live_workers:
+                self.send(self.workers[worker], P.DestroyObjects(oids))
+        self.send(self.driver, P.ObjectsReady())
+
+    def object_sizes(self) -> Dict[int, int]:
+        return {obj.oid: obj.size_bytes for obj in self.directory.objects()}
+
+    # ------------------------------------------------------------------
+    # Central scheduling path
+    # ------------------------------------------------------------------
+    def _assign_worker(self, read: Tuple[int, ...], write: Tuple[int, ...]) -> int:
+        """Anchor a task at the home of its first written (or read) object."""
+        anchor = write[0] if write else (read[0] if read else None)
+        if anchor is None:
+            return min(self.live_workers)
+        return self.placement.home(anchor)
+
+    def _alloc_cids(self, n: int) -> int:
+        base = self._next_cid
+        self._next_cid += n
+        return base
+
+    def _dispatch(self, run: _BlockRun, cmd: Command, report: bool = False) -> None:
+        run.outstanding += 1
+        self.send(self.workers[cmd.worker],
+                  P.DispatchCommand(cmd, run.seq, report))
+
+    def _schedule_task_centrally(
+        self,
+        run: _BlockRun,
+        function: str,
+        read: Tuple[int, ...],
+        write: Tuple[int, ...],
+        worker: int,
+        params: Any,
+        returns_rev: Dict[int, str],
+    ) -> None:
+        """Dependency analysis + copy insertion + dispatch for one task.
+
+        Copies are inserted when the task reads an object whose latest
+        version is not resident on its worker; the directory and the
+        holder-command map are updated as the plan is built.
+        """
+        sizes = None
+        for oid in read:
+            holders = self._holder_cids.setdefault(oid, {})
+            if not self.directory.is_fresh(oid, worker):
+                src = min(self.directory.holders_of_latest(oid))
+                if sizes is None:
+                    sizes = self.object_sizes()
+                send_cid = self._alloc_cids(1)
+                recv_cid = self._alloc_cids(1)
+                send, recv = make_copy_pair(
+                    send_cid, recv_cid, oid, src, worker,
+                    size_bytes=sizes.get(oid, 0),
+                )
+                self._dispatch(run, send)
+                self._dispatch(run, recv)
+                self.directory.record_copy(oid, worker)
+                holders[worker] = recv_cid
+        cid = self._alloc_cids(1)
+        task = make_task(cid, worker, function, read, write, params=params)
+        report = False
+        for oid in write:
+            self.directory.record_write(oid, worker)
+            self._holder_cids[oid] = {worker: cid}
+            name = returns_rev.get(oid)
+            if name is not None:
+                run.return_cids[cid] = (name, oid)
+                report = True
+        self._dispatch(run, task, report=report)
+
+    def _run_block_centrally(
+        self,
+        block: BlockSpec,
+        params: Dict[str, Any],
+        capture: bool,
+        receive_cost: bool,
+        seq: Optional[int] = None,
+        request_id: int = 0,
+    ) -> _BlockRun:
+        run = self._new_run(block.block_id, block.num_tasks, "central", seq,
+                            request_id)
+        if capture and block.block_id in self.templates:
+            capture = False  # already installed (e.g. resubmitted after recovery)
+        returns_rev = {oid: name for name, oid in block.returns.items()}
+        assignment: List[int] = []
+        for _stage_name, task in block.all_tasks():
+            worker = self._assign_worker(task.read, task.write)
+            assignment.append(worker)
+            cost = self.costs.central_schedule_per_task
+            if receive_cost:
+                cost += self.costs.central_receive_per_task
+            if capture:
+                cost += self.costs.install_controller_template_per_task
+            self.charge(cost)
+            task_params = params.get(task.param_slot) if task.param_slot else None
+            self._schedule_task_centrally(
+                run, task.function, task.read, task.write, worker,
+                task_params, returns_rev,
+            )
+        self.metrics.incr("tasks_scheduled", block.num_tasks)
+        if capture:
+            template = ControllerTemplate.from_block(block, assignment)
+            self.templates[block.block_id] = template
+            self.phase[block.block_id] = self.PHASE_CT_READY
+            self.current_version[block.block_id] = 0
+            self.assignments[(block.block_id, 0)] = list(assignment)
+            self.metrics.incr("controller_templates_installed")
+        # Central execution leaves template validation state unknown.
+        self.validation_state.invalidate()
+        self._prev_block_key = ("central", block.block_id)
+        return run
+
+    # ------------------------------------------------------------------
+    # Driver block submission (central / capture path)
+    # ------------------------------------------------------------------
+    def _on_submit_block(self, msg: P.SubmitBlock) -> None:
+        self.charge(self.costs.message_handling)
+        self._run_block_centrally(
+            msg.block, msg.params,
+            capture=msg.template_start,
+            receive_cost=True,
+            request_id=msg.request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Template instantiation path
+    # ------------------------------------------------------------------
+    def _on_instantiate_block(self, msg: P.InstantiateBlock) -> None:
+        self.charge(self.costs.message_handling)
+        block_id = msg.block_id
+        template = self.templates[block_id]
+        phase = self.phase[block_id]
+        n = template.num_tasks
+        # parameter fill of the controller template (Table 2, row 1)
+        self.charge(self.costs.instantiate_controller_template_per_task * n)
+        instance = template.instantiate(msg.task_id_base, msg.params)
+        self.metrics.incr("template_instantiations")
+
+        if phase == self.PHASE_CT_READY:
+            # generate the controller half of the worker templates while
+            # dispatching this iteration centrally (Fig. 9, iteration 11)
+            self.charge(
+                self.costs.install_worker_template_controller_per_task * n)
+            version = self.current_version[block_id]
+            wts = generate_worker_templates(
+                template, self.object_sizes(), version)
+            self.worker_templates[wts.key] = wts
+            self.phase[block_id] = self.PHASE_WT_GENERATED
+            self._dispatch_from_template(instance, msg.request_id)
+            return
+        if phase == self.PHASE_WT_GENERATED:
+            # ship worker halves while dispatching centrally (iteration 12)
+            version = self.current_version[block_id]
+            wts = self.worker_templates[(block_id, version)]
+            self._install_worker_halves(wts)
+            self.phase[block_id] = self.PHASE_WT_INSTALLED
+            self._dispatch_from_template(instance, msg.request_id)
+            return
+
+        # steady state (iteration 13+): validate, patch, instantiate
+        version = self.current_version[block_id]
+        wts = self.worker_templates[(block_id, version)]
+        self._install_worker_halves(wts)  # no-op for already-installed workers
+        if self.validation_state.auto_validates(wts.key):
+            self.charge(
+                self.costs.instantiate_worker_template_auto_per_task * n)
+            self.metrics.incr("auto_validations")
+        else:
+            self.charge(
+                self.costs.instantiate_worker_template_validate_per_task * n)
+            self.metrics.incr("full_validations")
+            violations = full_validate(wts, self.directory)
+            if violations:
+                self._apply_patch(wts, violations)
+        self._instantiate_worker_templates(wts, instance, msg.params,
+                                           msg.request_id)
+
+    def _dispatch_from_template(self, instance, request_id: int = 0) -> None:
+        """Centrally dispatch a controller-template instance (phases 1–2)."""
+        template = instance.template
+        run = self._new_run(template.block_id, template.num_tasks, "central",
+                            request_id=request_id)
+        returns_rev = {oid: name for name, oid in template.returns.items()}
+        for entry in template.entries:
+            self.charge(self.costs.central_schedule_per_task)
+            self._schedule_task_centrally(
+                run, entry.function, entry.read, entry.write, entry.worker,
+                instance.param_of(entry), returns_rev,
+            )
+        self.metrics.incr("tasks_scheduled", template.num_tasks)
+        self.validation_state.invalidate()
+        self._prev_block_key = ("central", template.block_id)
+
+    def _install_worker_halves(self, wts: WorkerTemplateSet) -> None:
+        for worker in wts.workers():
+            if worker in wts.installed_on or worker not in self.live_workers:
+                continue
+            entries = wts.entries[worker]
+            reports = [
+                e.index for e in entries if e is not None and e.report
+            ]
+            self.send(self.workers[worker], P.InstallWorkerTemplate(
+                wts.block_id, wts.version, entries, reports,
+            ))
+            wts.installed_on.add(worker)
+            # a fresh install ships the controller half verbatim, which
+            # already contains any planned edits — drop them so they are
+            # not applied a second time at instantiation
+            pending = self.pending_edits.get(wts.key)
+            if pending:
+                pending.pop(worker, None)
+
+    def _instantiate_worker_templates(
+        self,
+        wts: WorkerTemplateSet,
+        instance,
+        params: Dict[str, Any],
+        request_id: int = 0,
+    ) -> None:
+        """The fast path: one message per worker (§2.2: n+1 total)."""
+        template = instance.template
+        run = self._new_run(template.block_id, template.num_tasks, "template",
+                            request_id=request_id)
+        run.instance_id = self._next_instance
+        self._next_instance += 1
+        edits_by_worker = self.pending_edits.pop(wts.key, {})
+        for worker in wts.workers():
+            entries = wts.entries[worker]
+            cid_base = self._alloc_cids(len(entries))
+            msg = P.InstantiateWorkerTemplate(
+                wts.block_id, wts.version, run.instance_id, cid_base,
+                params, run.seq, edits=edits_by_worker.get(worker),
+            )
+            msg.size_bytes = (P.TASK_ID_BYTES * len(entries)
+                              + P.PARAM_BLOCK_BYTES)
+            self.send(self.workers[worker], msg)
+            run.expected_workers.add(worker)
+        run.outstanding = len(run.expected_workers)
+        for name, oid in wts.returns.items():
+            # values arrive inside InstanceComplete messages keyed by oid
+            run.return_cids[oid] = (name, oid)
+        wts.delta.apply(self.directory)
+        self.validation_state.note_instantiation(wts.key)
+        self._prev_block_key = wts.key
+        self.metrics.incr("tasks_scheduled", template.num_tasks)
+
+    # ------------------------------------------------------------------
+    # Patching (§4.2)
+    # ------------------------------------------------------------------
+    def _apply_patch(self, wts: WorkerTemplateSet,
+                     violations: List[Tuple[int, int]]) -> None:
+        instance_id = self._next_instance
+        self._next_instance += 1
+        cached = self.patch_cache.lookup(
+            self._prev_block_key, wts.key, violations, self.directory)
+        if cached is not None:
+            self.charge(self.costs.patch_cache_invoke)
+            patch = cached
+            for worker in patch.workers():
+                cid_base = self._alloc_cids(patch.entry_count(worker))
+                self.send(self.workers[worker], P.InstantiatePatch(
+                    patch.patch_id, cid_base, instance_id))
+            self.metrics.incr("patch_cache_hits")
+        else:
+            patch = build_patch(violations, self.directory, self.object_sizes())
+            self.charge(self.costs.patch_compute_per_copy * patch.num_copies())
+            for worker in patch.workers():
+                cid_base = self._alloc_cids(patch.entry_count(worker))
+                self.send(self.workers[worker], P.InstallPatch(
+                    patch.patch_id, patch.entries[worker], cid_base,
+                    instance_id))
+            self.patch_cache.store(self._prev_block_key, wts.key, patch)
+            self.metrics.incr("patches_computed")
+        patch.apply_to_directory(self.directory)
+        self.metrics.incr("patch_copies", patch.num_copies())
+
+    # ------------------------------------------------------------------
+    # Dynamic scheduling: edits, eviction, restore (§2.3, Fig. 9/10)
+    # ------------------------------------------------------------------
+    def migrate_tasks(self, block_id: str, moves: List[Tuple[int, int]]) -> str:
+        """Move tasks (by controller-template entry index) to new workers.
+
+        Small changes become template edits; large ones re-install. Returns
+        which mechanism was used ("edits" or "reinstall").
+        """
+        template = self.templates[block_id]
+        version = self.current_version[block_id]
+        wts = self.worker_templates[(block_id, version)]
+        if len(moves) <= self.edit_threshold * template.num_tasks:
+            edits, total_ops, relocations = plan_migrations(
+                wts, moves, self.object_sizes())
+            self.charge(self.costs.edit_per_task * total_ops)
+            pending = self.pending_edits.setdefault(wts.key, {})
+            for worker, ops in edits.items():
+                pending.setdefault(worker, []).extend(ops)
+            for ct_index, dst in moves:
+                template.reassign(ct_index, dst)
+            # one-time data moves for relocated sole-reader inputs: the
+            # objects' homes follow the tasks; stale replicas remain behind
+            stale = [(dst, oid) for oid, dst in relocations
+                     if not self.directory.is_fresh(oid, dst)]
+            if stale:
+                patch = build_patch(stale, self.directory,
+                                    self.object_sizes())
+                instance_id = self._next_instance
+                self._next_instance += 1
+                for worker in patch.workers():
+                    cid_base = self._alloc_cids(patch.entry_count(worker))
+                    self.send(self.workers[worker], P.InstallPatch(
+                        patch.patch_id, patch.entries[worker], cid_base,
+                        instance_id))
+                patch.apply_to_directory(self.directory)
+                self.metrics.incr("relocation_copies", len(stale))
+            for oid, dst in relocations:
+                self.placement.migrate(oid, dst)
+            self.metrics.incr("edits_applied", total_ops)
+            return "edits"
+        for ct_index, dst in moves:
+            template.reassign(ct_index, dst)
+        self._regenerate_worker_templates(block_id)
+        return "reinstall"
+
+    def _regenerate_worker_templates(self, block_id: str) -> None:
+        template = self.templates[block_id]
+        template.assignment_version += 1
+        version = template.assignment_version
+        self.current_version[block_id] = version
+        self.charge(self.costs.install_worker_template_controller_per_task
+                    * template.num_tasks)
+        wts = generate_worker_templates(
+            template, self.object_sizes(), version)
+        self.worker_templates[wts.key] = wts
+        self.assignments[(block_id, version)] = [
+            e.worker for e in template.entries
+        ]
+        self.phase[block_id] = self.PHASE_WT_GENERATED
+        self.validation_state.invalidate()
+        self.metrics.incr("worker_template_regenerations")
+
+    def evict_workers(self, evicted: List[int]) -> None:
+        """A cluster manager revoked workers: migrate their objects and
+        tasks to the survivors and regenerate worker templates (Fig. 9)."""
+        evicted_set = set(evicted)
+        survivors = sorted(self.live_workers - evicted_set)
+        if not survivors:
+            raise RuntimeError("cannot evict every worker")
+        self.live_workers -= evicted_set
+        rr = 0
+        for oid in list(self._all_placed_objects()):
+            if self.placement.home(oid) in evicted_set:
+                self.placement.migrate(oid, survivors[rr % len(survivors)])
+                rr += 1
+        for block_id, template in self.templates.items():
+            changed = False
+            for entry in template.entries:
+                if entry.worker in evicted_set:
+                    entry.worker = self._assign_worker(entry.read, entry.write)
+                    changed = True
+            if changed and self.phase.get(block_id, 0) >= self.PHASE_CT_READY:
+                self._regenerate_worker_templates(block_id)
+        self.validation_state.invalidate()
+
+    def restore_workers(self, restored: List[int],
+                        placement_snapshot: Dict[int, int],
+                        version_snapshot: Dict[str, int]) -> None:
+        """Workers returned: revert to the cached templates for the old
+        assignment; the next instantiation validates them (Fig. 9)."""
+        self.live_workers |= set(restored)
+        for oid, home in placement_snapshot.items():
+            self.placement.migrate(oid, home)
+        for block_id, version in version_snapshot.items():
+            template = self.templates[block_id]
+            assignment = self.assignments[(block_id, version)]
+            for entry, worker in zip(template.entries, assignment):
+                entry.worker = worker
+            self.current_version[block_id] = version
+            self.phase[block_id] = self.PHASE_WT_INSTALLED
+        self.validation_state.invalidate()
+
+    def snapshot_placement(self) -> Dict[int, int]:
+        return {oid: self.placement.home(oid)
+                for oid in self._all_placed_objects()}
+
+    def snapshot_versions(self) -> Dict[str, int]:
+        return dict(self.current_version)
+
+    def _all_placed_objects(self):
+        return [obj.oid for obj in self.directory.objects()]
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def _new_run(self, block_id: str, num_tasks: int, mode: str,
+                 seq: Optional[int] = None, request_id: int = 0) -> _BlockRun:
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        run = _BlockRun(seq, block_id, num_tasks, mode, self.sim.now,
+                        request_id)
+        self.runs[seq] = run
+        self.metrics.begin("block", self.sim.now, key=seq,
+                           block_id=block_id, seq=seq, mode=mode,
+                           num_tasks=num_tasks, request_id=request_id)
+        return run
+
+    def _on_command_complete(self, msg: P.CommandComplete) -> None:
+        self.charge(self.costs.controller_completion_per_task)
+        run = self.runs.get(msg.block_seq)
+        if run is None:
+            return  # dropped by recovery
+        run.outstanding -= 1
+        run.compute_by_worker[msg.worker_id] = (
+            run.compute_by_worker.get(msg.worker_id, 0.0) + msg.duration)
+        if msg.cid in run.return_cids:
+            name, _oid = run.return_cids[msg.cid]
+            run.results[name] = msg.value
+        if run.outstanding == 0 and not run.open:
+            self._finish_block(run)
+
+    def _on_instance_complete(self, msg: P.InstanceComplete) -> None:
+        self.charge(self.costs.controller_block_completion)
+        run = self.runs.get(msg.block_seq)
+        if run is None:
+            return
+        run.outstanding -= 1
+        run.compute_by_worker[msg.worker_id] = (
+            run.compute_by_worker.get(msg.worker_id, 0.0) + msg.compute_time)
+        for oid, value in msg.values.items():
+            if oid in run.return_cids:
+                name, _oid = run.return_cids[oid]
+                run.results[name] = value
+        if run.outstanding == 0:
+            self._finish_block(run)
+
+    def _finish_block(self, run: _BlockRun) -> None:
+        del self.runs[run.seq]
+        compute = 0.0
+        if run.compute_by_worker:
+            compute = max(run.compute_by_worker.values()) / self.slots_per_worker
+        self.metrics.end("block", self.sim.now, key=run.seq,
+                         compute=compute, results=dict(run.results))
+        self._results_history.append((run.block_id, dict(run.results)))
+        self.send(self.driver, P.BlockComplete(
+            run.block_id, run.seq, dict(run.results), run.request_id))
+        self._blocks_since_checkpoint += 1
+        if (self.checkpoint_every is not None
+                and self._blocks_since_checkpoint >= self.checkpoint_every
+                and not self.runs and not self._checkpointing
+                and not self._recovering):
+            self._start_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Checkpointing (§4.4)
+    # ------------------------------------------------------------------
+    def _start_checkpoint(self) -> None:
+        self._checkpointing = True
+        self._blocks_since_checkpoint = 0
+        checkpoint_id = self._next_checkpoint
+        self._next_checkpoint += 1
+        self._checkpoint_acks = set()
+        self._checkpoint_snapshots[checkpoint_id] = (
+            self.directory.snapshot(),
+            self.snapshot_placement(),
+            list(self._results_history),
+        )
+        for worker in self.live_workers:
+            self.send(self.workers[worker], P.SaveCheckpoint(checkpoint_id))
+        self._pending_checkpoint_id = checkpoint_id
+        self.metrics.incr("checkpoints_started")
+
+    def _on_checkpoint_ack(self, msg: P.CheckpointAck) -> None:
+        if msg.checkpoint_id != getattr(self, "_pending_checkpoint_id", None):
+            return
+        self._checkpoint_acks.add(msg.worker_id)
+        if self._checkpoint_acks >= self.live_workers:
+            self._last_committed_checkpoint = msg.checkpoint_id
+            self._checkpointing = False
+            self.metrics.incr("checkpoints_committed")
+
+    # ------------------------------------------------------------------
+    # Failure detection and recovery (§4.4)
+    # ------------------------------------------------------------------
+    def _check_heartbeats(self) -> None:
+        if not self._recovering:
+            now = self.sim.now
+            dead = [
+                w for w in self.live_workers
+                if now - self._last_heartbeat.get(w, now) > self.heartbeat_timeout
+            ]
+            if dead:
+                self._begin_recovery(dead)
+        self.call_later(self._hb_check_interval, self._check_heartbeats)
+
+    def _begin_recovery(self, dead: List[int]) -> None:
+        if self._last_committed_checkpoint is None:
+            raise RuntimeError(
+                f"workers {dead} failed with no committed checkpoint")
+        self._recovering = True
+        self._failed_workers |= set(dead)
+        self.live_workers -= set(dead)
+        self.runs.clear()  # in-flight blocks are abandoned and replayed
+        self._halt_acks = set()
+        for worker in self.live_workers:
+            self.send(self.workers[worker], P.Halt())
+        self.metrics.incr("recoveries_started")
+
+    def _on_halt_ack(self, msg: P.HaltAck) -> None:
+        if not self._recovering:
+            return
+        self._halt_acks.add(msg.worker_id)
+        if self._halt_acks >= self.live_workers:
+            self._restore_from_checkpoint()
+
+    def _restore_from_checkpoint(self) -> None:
+        checkpoint_id = self._last_committed_checkpoint
+        dir_snap, placement_snap, history = (
+            self._checkpoint_snapshots[checkpoint_id])
+        self.directory.restore(dir_snap)
+        survivors = sorted(self.live_workers)
+        rr = 0
+        per_worker_loads: Dict[int, List[int]] = {}
+        for oid, home in placement_snap.items():
+            if home not in self.live_workers:
+                home = survivors[rr % len(survivors)]
+                rr += 1
+            self.placement.migrate(oid, home)
+            per_worker_loads.setdefault(home, []).append(oid)
+        for worker in self._failed_workers:
+            self.directory.evict_worker(worker)
+        # every object is reloaded at its (possibly new) home at the
+        # checkpointed version; the directory reflects exactly that
+        for worker, oids in per_worker_loads.items():
+            for oid in oids:
+                self.directory.apply_block_delta(oid, 0, [worker])
+        # all cached schedules referenced the dead workers: rebuild
+        for block_id, template in self.templates.items():
+            for entry in template.entries:
+                if entry.worker not in self.live_workers:
+                    entry.worker = self._assign_worker(entry.read, entry.write)
+            if self.phase.get(block_id, 0) >= self.PHASE_CT_READY:
+                self._regenerate_worker_templates(block_id)
+        self.patch_cache.invalidate_all()
+        self.validation_state.invalidate()
+        self._results_history = list(history)
+        self._load_acks = set()
+        for worker, oids in per_worker_loads.items():
+            self.send(self.workers[worker],
+                      P.LoadCheckpoint(checkpoint_id, oids))
+        self._expected_load_acks = set(per_worker_loads)
+        if not per_worker_loads:
+            self._finish_recovery()
+
+    def _on_load_ack(self, msg: P.LoadAck) -> None:
+        if not self._recovering:
+            return
+        self._load_acks.add(msg.worker_id)
+        if self._load_acks >= self._expected_load_acks:
+            self._finish_recovery()
+
+    def _finish_recovery(self) -> None:
+        self._recovering = False
+        self._holder_cids.clear()
+        self.send(self.driver, P.JobRestored(
+            len(self._results_history) + 1, list(self._results_history)))
+        self.metrics.incr("recoveries_completed")

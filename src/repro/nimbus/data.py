@@ -1,0 +1,207 @@
+"""Nimbus data model: mutable data objects with versions.
+
+Nimbus tasks operate on *mutable* data objects (§3.3). Each logical object is
+one partition of an application variable (e.g. partition 17 of ``tdata`` or
+the singleton ``coeff``). Because objects are mutable, their identifiers are
+stable across loop iterations and can be cached inside execution templates;
+only *versions* advance.
+
+Two structures implement the model:
+
+* :class:`ObjectDirectory` — the controller's authoritative map from object
+  id to latest version and to the set of workers holding each version. All
+  copy insertion, template validation, and patching decisions read it.
+* :class:`ObjectStore` — a worker's local store of object payloads. Payloads
+  are real Python values (numpy arrays in the bundled applications), so
+  integration tests can check end-to-end dataflow correctness, not just
+  timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+ObjectId = int
+WorkerId = int
+
+
+class LogicalObject:
+    """Driver-level handle to one partition of an application variable."""
+
+    __slots__ = ("oid", "variable", "partition", "size_bytes")
+
+    def __init__(self, oid: ObjectId, variable: str, partition: int, size_bytes: int = 0):
+        self.oid = oid
+        self.variable = variable
+        self.partition = partition
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return f"<{self.variable}[{self.partition}] oid={self.oid}>"
+
+
+class ObjectDirectory:
+    """Controller-side map of object versions and their holders.
+
+    The directory tracks, per object id, the latest version number and which
+    workers hold which version. Scheduling a write bumps the version and
+    narrows the holder set to the writer; scheduling a copy widens it.
+
+    The directory reflects *planned* state: the controller updates it as it
+    schedules commands, before they execute, exactly as a real controller
+    reasons about the future state its command stream will produce.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Dict[ObjectId, int] = {}
+        self._holders: Dict[ObjectId, Dict[WorkerId, int]] = {}
+        self._objects: Dict[ObjectId, LogicalObject] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, obj: LogicalObject, home: WorkerId) -> None:
+        """Register a newly created object resident on ``home`` at version 0."""
+        self._objects[obj.oid] = obj
+        self._latest[obj.oid] = 0
+        self._holders[obj.oid] = {home: 0}
+
+    def unregister(self, oid: ObjectId) -> None:
+        self._objects.pop(oid, None)
+        self._latest.pop(oid, None)
+        self._holders.pop(oid, None)
+
+    def object(self, oid: ObjectId) -> LogicalObject:
+        return self._objects[oid]
+
+    def objects(self) -> Iterable[LogicalObject]:
+        return self._objects.values()
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._objects
+
+    # -- queries ----------------------------------------------------------
+    def latest_version(self, oid: ObjectId) -> int:
+        return self._latest[oid]
+
+    def holders_of_latest(self, oid: ObjectId) -> List[WorkerId]:
+        latest = self._latest[oid]
+        return [w for w, v in self._holders[oid].items() if v == latest]
+
+    def is_fresh(self, oid: ObjectId, worker: WorkerId) -> bool:
+        """True when ``worker`` holds the latest version of ``oid``."""
+        return self._holders[oid].get(worker, -1) == self._latest[oid]
+
+    def holds_any(self, oid: ObjectId, worker: WorkerId) -> bool:
+        return worker in self._holders[oid]
+
+    # -- planned mutations ------------------------------------------------
+    def record_write(self, oid: ObjectId, worker: WorkerId) -> int:
+        """A write on ``worker`` produces the next version; returns it.
+
+        Other workers keep their (now stale) replicas — mutable objects are
+        overwritten in place, not invalidated remotely."""
+        version = self._latest[oid] + 1
+        self._latest[oid] = version
+        self._holders[oid][worker] = version
+        return version
+
+    def record_copy(self, oid: ObjectId, dst: WorkerId) -> None:
+        """A copy delivers the latest version of ``oid`` to ``dst``."""
+        self._holders[oid][dst] = self._latest[oid]
+
+    def apply_block_delta(self, oid: ObjectId, bumps: int,
+                          final_holders: Iterable[WorkerId]) -> None:
+        """Apply a cached template directory delta for one object:
+        advance the version by ``bumps`` writes and set the holder set."""
+        latest = self._latest[oid] + bumps
+        self._latest[oid] = latest
+        self._holders[oid] = {w: latest for w in final_holders}
+
+    def evict_worker(self, worker: WorkerId) -> None:
+        """Forget all replicas held by ``worker`` (worker failure/eviction)."""
+        for holders in self._holders.values():
+            holders.pop(worker, None)
+
+    # -- snapshot / restore (checkpointing) -------------------------------
+    def snapshot(self) -> Tuple[Dict[ObjectId, int], Dict[ObjectId, Dict[WorkerId, int]]]:
+        return (
+            dict(self._latest),
+            {oid: dict(h) for oid, h in self._holders.items()},
+        )
+
+    def restore(
+        self,
+        snap: Tuple[Dict[ObjectId, int], Dict[ObjectId, Dict[WorkerId, int]]],
+    ) -> None:
+        latest, holders = snap
+        self._latest = dict(latest)
+        self._holders = {oid: dict(h) for oid, h in holders.items()}
+
+
+class ObjectStore:
+    """A worker's local payload store.
+
+    Maps object id → payload. Version numbers are a controller concept; the
+    store also remembers an opaque ``stamp`` per object (set by copies and
+    task writes) that tests use to verify read-latest-value semantics.
+    """
+
+    def __init__(self) -> None:
+        self._payloads: Dict[ObjectId, Any] = {}
+
+    def create(self, oid: ObjectId, payload: Any = None) -> None:
+        self._payloads[oid] = payload
+
+    def destroy(self, oid: ObjectId) -> None:
+        self._payloads.pop(oid, None)
+
+    def put(self, oid: ObjectId, payload: Any) -> None:
+        self._payloads[oid] = payload
+
+    def get(self, oid: ObjectId) -> Any:
+        return self._payloads.get(oid)
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._payloads
+
+    def live_objects(self) -> List[ObjectId]:
+        return list(self._payloads.keys())
+
+
+class PartitionPlacement:
+    """Assignment of logical objects to home workers.
+
+    The paper explicitly leaves scheduling *policy* out of scope (§6); the
+    reproduction places partitions round-robin and exposes :meth:`migrate`
+    for the dynamic-scheduling experiments, where the policy decisions come
+    from the experiment script (evict 50 workers, migrate 5 % of tasks, ...).
+    """
+
+    def __init__(self, workers: Iterable[WorkerId]):
+        self._workers: List[WorkerId] = list(workers)
+        self._home: Dict[ObjectId, WorkerId] = {}
+        self._rr = 0
+
+    @property
+    def workers(self) -> List[WorkerId]:
+        return list(self._workers)
+
+    def set_workers(self, workers: Iterable[WorkerId]) -> None:
+        self._workers = list(workers)
+        self._rr = 0
+
+    def place(self, oid: ObjectId, worker: Optional[WorkerId] = None) -> WorkerId:
+        """Assign a home worker (round-robin when not given). Returns it."""
+        if worker is None:
+            worker = self._workers[self._rr % len(self._workers)]
+            self._rr += 1
+        self._home[oid] = worker
+        return worker
+
+    def home(self, oid: ObjectId) -> WorkerId:
+        return self._home[oid]
+
+    def migrate(self, oid: ObjectId, dst: WorkerId) -> None:
+        self._home[oid] = dst
+
+    def objects_on(self, worker: WorkerId) -> List[ObjectId]:
+        return [oid for oid, w in self._home.items() if w == worker]

@@ -1,0 +1,292 @@
+"""Messages of the Nimbus control plane.
+
+Three interfaces, as in Figure 2 of the paper:
+
+* driver ↔ controller — block submission, template installation markers,
+  template instantiation, block completion with returned driver values;
+* controller ↔ worker — command dispatch (central path), worker-template
+  install/instantiate, patches, checkpoint/recovery control;
+* worker ↔ worker — direct data exchange (the push-model copies of §3.4).
+
+Message ``size_bytes`` approximate the paper's wire sizes so the network
+model charges realistic serialization time (task descriptions are a few
+hundred bytes; instantiation messages are ~4 bytes per task id plus the
+parameter block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..sim.actor import Message
+from .commands import Command
+
+TASK_DESC_BYTES = 200  # serialized size of one task description
+TASK_ID_BYTES = 4  # one entry of the instantiation id array
+PARAM_BLOCK_BYTES = 64  # typical parameter blob
+
+
+# ---------------------------------------------------------------------------
+# driver → controller
+# ---------------------------------------------------------------------------
+class DefineObjects(Message):
+    """Declare logical objects (partitions) and optional placement hints."""
+
+    def __init__(self, objects: List[Tuple[int, str, int, int, Optional[int]]]):
+        # entries: (oid, variable, partition, size_bytes, home_worker or None)
+        self.objects = objects
+        self.size_bytes = 64 * len(objects)
+
+
+class SubmitBlock(Message):
+    """Submit a basic block as an explicit task stream (non-template path).
+
+    When ``template_start`` is set this stream doubles as the template
+    installation capture (the driver marked the basic block, §4.1).
+    """
+
+    def __init__(self, block, params: Dict[str, Any], template_start: bool = False,
+                 request_id: int = 0):
+        self.block = block  # BlockSpec
+        self.params = params
+        self.template_start = template_start
+        self.request_id = request_id
+        self.size_bytes = TASK_DESC_BYTES * block.num_tasks + PARAM_BLOCK_BYTES
+
+
+class InstantiateBlock(Message):
+    """Execute an installed controller template (§2.2).
+
+    Carries the new task identifiers (modeled as ``task_id_base`` plus the
+    count — the array contents are consecutive) and the parameter block.
+    """
+
+    def __init__(self, block_id: str, num_tasks: int, task_id_base: int,
+                 params: Dict[str, Any], request_id: int = 0):
+        self.block_id = block_id
+        self.num_tasks = num_tasks
+        self.task_id_base = task_id_base
+        self.params = params
+        self.request_id = request_id
+        self.size_bytes = TASK_ID_BYTES * num_tasks + PARAM_BLOCK_BYTES
+
+
+# ---------------------------------------------------------------------------
+# controller → driver
+# ---------------------------------------------------------------------------
+class ObjectsReady(Message):
+    """All requested objects were created and registered."""
+
+
+class BlockComplete(Message):
+    """A block instance finished; carries returned driver values."""
+
+    def __init__(self, block_id: str, seq: int, results: Dict[str, Any],
+                 request_id: int = 0):
+        self.block_id = block_id
+        self.seq = seq
+        self.results = results
+        self.request_id = request_id
+        self.size_bytes = 64 + 32 * len(results)
+
+
+class JobRestored(Message):
+    """Recovery completed; driver must replay from the checkpoint."""
+
+    def __init__(self, next_seq: int, results_history: List[Tuple[str, Dict[str, Any]]]):
+        self.next_seq = next_seq
+        self.results_history = results_history
+
+
+# ---------------------------------------------------------------------------
+# controller → worker
+# ---------------------------------------------------------------------------
+class CreateObjects(Message):
+    """Create (empty) objects in the worker's local store."""
+
+    def __init__(self, oids: List[int]):
+        self.oids = oids
+        self.size_bytes = 16 * len(oids)
+
+
+class DestroyObjects(Message):
+    """Destroy objects in the worker's local store (data commands, §3.4)."""
+
+    def __init__(self, oids: List[int]):
+        self.oids = oids
+        self.size_bytes = 16 * len(oids)
+
+
+class UndefineObjects(Message):
+    """Driver → controller: drop logical objects from the system."""
+
+    def __init__(self, oids: List[int]):
+        self.oids = oids
+        self.size_bytes = 16 * len(oids)
+
+
+class DispatchCommand(Message):
+    """Centrally dispatch one concrete command (one message per task)."""
+
+    def __init__(self, command: Command, block_seq: int, report: bool = False):
+        self.command = command
+        self.block_seq = block_seq
+        self.report = report  # send the written value back with completion
+        self.size_bytes = TASK_DESC_BYTES
+
+
+class InstallWorkerTemplate(Message):
+    """Install the worker half of a worker template (§4.1)."""
+
+    def __init__(self, block_id: str, version: int, entries, reports: List[int]):
+        self.block_id = block_id
+        self.version = version
+        self.entries = entries  # list[TemplateEntry]
+        self.reports = reports  # entry indices whose written value is reported
+        self.size_bytes = TASK_DESC_BYTES * len(entries)
+
+
+class InstantiateWorkerTemplate(Message):
+    """Instantiate a cached worker template: ids + params (+ edits) (§2.2/4.3)."""
+
+    def __init__(
+        self,
+        block_id: str,
+        version: int,
+        instance_id: int,
+        cid_base: int,
+        params: Dict[str, Any],
+        block_seq: int,
+        edits=None,
+    ):
+        self.block_id = block_id
+        self.version = version
+        self.instance_id = instance_id
+        self.cid_base = cid_base
+        self.params = params
+        self.block_seq = block_seq
+        self.edits = edits or []
+        num = 0  # sized below by the controller, which knows the entry count
+        self.size_bytes = TASK_ID_BYTES * num + PARAM_BLOCK_BYTES
+
+
+class InstallPatch(Message):
+    """Send a patch's full command list and cache it under ``patch_id`` (§4.2)."""
+
+    def __init__(self, patch_id: int, entries, cid_base: int, instance_id: int):
+        self.patch_id = patch_id
+        self.entries = entries  # list[TemplateEntry] (SEND/RECV only)
+        self.cid_base = cid_base
+        self.instance_id = instance_id
+        self.size_bytes = TASK_DESC_BYTES * len(entries)
+
+
+class InstantiatePatch(Message):
+    """Invoke a patch already cached at the worker (single command, §4.2)."""
+
+    def __init__(self, patch_id: int, cid_base: int, instance_id: int):
+        self.patch_id = patch_id
+        self.cid_base = cid_base
+        self.instance_id = instance_id
+        self.size_bytes = 32
+
+
+class Halt(Message):
+    """Terminate ongoing tasks and flush queues (recovery, §4.4)."""
+
+
+class SaveCheckpoint(Message):
+    """Write all live objects to durable storage."""
+
+    def __init__(self, checkpoint_id: int):
+        self.checkpoint_id = checkpoint_id
+
+
+class LoadCheckpoint(Message):
+    """Load the given objects from durable storage into local memory."""
+
+    def __init__(self, checkpoint_id: int, oids: List[int]):
+        self.checkpoint_id = checkpoint_id
+        self.oids = oids
+        self.size_bytes = 16 * len(oids)
+
+
+class ManagerDirective(Message):
+    """A cluster-manager action executed in controller context.
+
+    Experiments (and the dynamic-scheduling benchmarks) deliver these to
+    drive migrations, evictions, and restorations — the "cluster manager"
+    role of Figure 2. ``action`` receives the controller instance.
+    """
+
+    def __init__(self, action):
+        self.action = action
+        self.size_bytes = 64
+
+
+# ---------------------------------------------------------------------------
+# worker → controller
+# ---------------------------------------------------------------------------
+class CommandComplete(Message):
+    """Per-command completion ack (central path)."""
+
+    def __init__(self, worker_id: int, cid: int, block_seq: int,
+                 duration: float, value: Any = None, oid: Optional[int] = None):
+        self.worker_id = worker_id
+        self.cid = cid
+        self.block_seq = block_seq
+        self.duration = duration
+        self.value = value
+        self.oid = oid
+        self.size_bytes = 64
+
+
+class InstanceComplete(Message):
+    """Per-block-instance completion (template path): one message per worker."""
+
+    def __init__(self, worker_id: int, block_id: str, instance_id: int,
+                 block_seq: int, compute_time: float,
+                 values: Dict[int, Any]):
+        self.worker_id = worker_id
+        self.block_id = block_id
+        self.instance_id = instance_id
+        self.block_seq = block_seq
+        self.compute_time = compute_time  # sum of task durations this instance
+        self.values = values  # oid -> reported value
+        self.size_bytes = 64 + 32 * len(values)
+
+
+class Heartbeat(Message):
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.size_bytes = 16
+
+
+class HaltAck(Message):
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+
+
+class CheckpointAck(Message):
+    def __init__(self, worker_id: int, checkpoint_id: int):
+        self.worker_id = worker_id
+        self.checkpoint_id = checkpoint_id
+
+
+class LoadAck(Message):
+    def __init__(self, worker_id: int, checkpoint_id: int):
+        self.worker_id = worker_id
+        self.checkpoint_id = checkpoint_id
+
+
+# ---------------------------------------------------------------------------
+# worker ↔ worker
+# ---------------------------------------------------------------------------
+class DataMessage(Message):
+    """Pushed copy payload, tagged for RECV matching (§3.4)."""
+
+    def __init__(self, tag: Hashable, oid: int, payload: Any, size_bytes: int):
+        self.tag = tag
+        self.oid = oid
+        self.payload = payload
+        self.size_bytes = max(size_bytes, 64)

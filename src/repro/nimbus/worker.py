@@ -1,0 +1,475 @@
+"""Nimbus worker (§3.2, §3.4).
+
+Workers satisfy the three control-plane requirements of §3.1:
+
+1. they maintain a local queue of commands and determine readiness locally
+   (per-object conflict tracking plus explicit before sets), never asking
+   the controller whether a command may run;
+2. they exchange data directly: SEND commands push payloads to peers as
+   soon as their before sets are satisfied, and RECVs match arrivals by
+   tag, buffering data that lands before the command is enqueued;
+3. they execute fine-grained tasks on a fixed set of execution slots
+   (cores), so one worker runs many short tasks concurrently.
+
+Workers also cache installed worker-template halves and patches, apply
+edits in place, run checkpoint save/load against durable storage, and emit
+heartbeats for failure detection.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.worker_template import WorkerHalf, instantiate_entries
+from ..core.edits import apply_edits
+from ..sim.actor import Actor, Message
+from ..sim.engine import Simulator
+from ..sim.metrics import Metrics
+from .commands import Command, CommandKind
+from .costs import CostModel
+from .data import ObjectStore
+from .runtime import FunctionRegistry, TaskContext
+from . import protocol as P
+
+
+class DurableStorage:
+    """Cluster-wide simulated durable storage for checkpoints."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple[int, int], Any] = {}
+
+    def save(self, checkpoint_id: int, oid: int, payload: Any) -> None:
+        self._data[(checkpoint_id, oid)] = payload
+
+    def load(self, checkpoint_id: int, oid: int) -> Any:
+        return self._data.get((checkpoint_id, oid))
+
+    def has(self, checkpoint_id: int, oid: int) -> bool:
+        return (checkpoint_id, oid) in self._data
+
+
+class _InstanceRecord:
+    """Per-block-instance completion bookkeeping."""
+
+    __slots__ = ("block_id", "instance_id", "block_seq", "remaining",
+                 "compute_time", "values", "report_cids")
+
+    def __init__(self, block_id, instance_id, block_seq, remaining,
+                 report_cids):
+        self.block_id = block_id
+        self.instance_id = instance_id
+        self.block_seq = block_seq
+        self.remaining = remaining
+        self.compute_time = 0.0
+        self.values: Dict[int, Any] = {}
+        self.report_cids = report_cids
+
+
+class Worker(Actor):
+    """A Nimbus worker node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        worker_id: int,
+        controller,
+        registry: FunctionRegistry,
+        costs: CostModel,
+        metrics: Metrics,
+        storage: DurableStorage,
+        slots: int = 8,
+        duration_scale: float = 1.0,
+    ):
+        super().__init__(sim, f"worker-{worker_id}")
+        self.worker_id = worker_id
+        self.controller = controller
+        self.registry = registry
+        self.costs = costs
+        self.metrics = metrics
+        self.storage = storage
+        self.slots = slots
+        self.duration_scale = duration_scale
+        self.store = ObjectStore()
+        self.peers: Dict[int, "Worker"] = {}  # attached by the cluster
+
+        # command queue state
+        self._pending: Dict[int, Command] = {}
+        self._remaining: Dict[int, int] = {}
+        self._dependents: Dict[int, List[int]] = {}
+        self._meta: Dict[int, Tuple] = {}  # cid -> (instance_key, report)
+        self._ready_tasks = deque()
+        self._free_slots: int = slots
+        self._last_writer: Dict[int, int] = {}
+        self._readers_since: Dict[int, List[int]] = {}
+
+        # copy matching
+        self._data_buffer: Dict[Hashable, Tuple[Any, int]] = {}
+        self._expected: Dict[Hashable, int] = {}  # tag -> recv cid
+
+        # template and patch caches
+        self._templates: Dict[Tuple[str, int], WorkerHalf] = {}
+        self._patches: Dict[int, List] = {}
+
+        # instances
+        self._instances: Dict[Hashable, _InstanceRecord] = {}
+
+        self._epoch = 0  # bumped on halt; stale completions are dropped
+        self._dead = False
+        self.tasks_executed = 0
+        #: extra control-thread cost charged per task completion; used by
+        #: the Naiad baseline to model its per-callback overhead (§5.3)
+        self.callback_overhead = 0.0
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        if self._dead:
+            return
+        if isinstance(msg, P.DataMessage):
+            self._on_data(msg)
+        elif isinstance(msg, P.DispatchCommand):
+            self._on_dispatch(msg)
+        elif isinstance(msg, P.InstantiateWorkerTemplate):
+            self._on_instantiate_template(msg)
+        elif isinstance(msg, P.InstallWorkerTemplate):
+            self._on_install_template(msg)
+        elif isinstance(msg, P.InstallPatch):
+            self._on_install_patch(msg)
+        elif isinstance(msg, P.InstantiatePatch):
+            self._on_instantiate_patch(msg)
+        elif isinstance(msg, P.CreateObjects):
+            for oid in msg.oids:
+                self.store.create(oid)
+        elif isinstance(msg, P.DestroyObjects):
+            for oid in msg.oids:
+                self.store.destroy(oid)
+        elif isinstance(msg, P.SaveCheckpoint):
+            self._on_save_checkpoint(msg)
+        elif isinstance(msg, P.LoadCheckpoint):
+            self._on_load_checkpoint(msg)
+        elif isinstance(msg, P.Halt):
+            self._on_halt()
+        else:
+            raise TypeError(f"worker got unexpected message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Central dispatch path
+    # ------------------------------------------------------------------
+    def _on_dispatch(self, msg: P.DispatchCommand) -> None:
+        self.charge(self.costs.worker_enqueue_per_command)
+        meta = (("central", msg.block_seq), msg.report)
+        self._enqueue(msg.command, meta)
+
+    # ------------------------------------------------------------------
+    # Template install / instantiate
+    # ------------------------------------------------------------------
+    def _on_install_template(self, msg: P.InstallWorkerTemplate) -> None:
+        entries = [e.clone() if e is not None else None for e in msg.entries]
+        half = WorkerHalf(msg.block_id, msg.version, entries, msg.reports)
+        self._templates[half.key] = half
+        self.charge(
+            self.costs.install_worker_template_worker_per_task * len(entries)
+        )
+        self.metrics.incr("worker_templates_installed")
+
+    def _on_instantiate_template(self, msg: P.InstantiateWorkerTemplate) -> None:
+        half = self._templates[(msg.block_id, msg.version)]
+        if msg.edits:
+            apply_edits(half.entries, msg.edits)
+            half.reports = {
+                e.index for e in half.entries if e is not None and e.report
+            }
+            self.charge(self.costs.worker_edit_per_task * len(msg.edits))
+        commands = half.instantiate(
+            self.worker_id, msg.instance_id, msg.cid_base, msg.params,
+        )
+        self.charge(
+            self.costs.worker_instantiate_per_command * len(commands)
+        )
+        report_cids = {
+            msg.cid_base + idx for idx in half.reports
+            if half.entries[idx] is not None
+        }
+        key = (msg.block_id, msg.instance_id)
+        record = _InstanceRecord(
+            msg.block_id, msg.instance_id, msg.block_seq,
+            remaining=len(commands), report_cids=report_cids,
+        )
+        self._instances[key] = record
+        meta_key = ("instance", key)
+        self._enqueue_batch(
+            commands, [(meta_key, cmd.cid in report_cids) for cmd in commands])
+        if not commands:
+            self._finish_instance(record)
+
+    def _on_install_patch(self, msg: P.InstallPatch) -> None:
+        entries = [e.clone() for e in msg.entries]
+        self._patches[msg.patch_id] = entries
+        self._run_patch(entries, msg.instance_id, msg.cid_base)
+
+    def _on_instantiate_patch(self, msg: P.InstantiatePatch) -> None:
+        entries = self._patches[msg.patch_id]
+        self._run_patch(entries, msg.instance_id, msg.cid_base)
+
+    def _run_patch(self, entries, instance_id, cid_base) -> None:
+        commands = instantiate_entries(
+            entries, self.worker_id, instance_id, cid_base, {},
+        )
+        self.charge(self.costs.worker_instantiate_per_command * len(commands))
+        self._enqueue_batch(commands, [(None, False)] * len(commands))
+
+    # ------------------------------------------------------------------
+    # Command queue: local readiness resolution (§3.1 requirement 1)
+    # ------------------------------------------------------------------
+    def _enqueue(self, cmd: Command, meta: Tuple) -> None:
+        self._register(cmd, meta)
+        self._resolve(cmd)
+
+    def _enqueue_batch(self, commands, metas) -> None:
+        """Enqueue an instantiation batch in two passes.
+
+        Registering every command before resolving dependencies lets cached
+        before sets reference *forward* indices within the batch — edits
+        such as a migrated read-modify-write task need the result RECV
+        (which keeps the task's old, low index) to wait for the input SEND
+        appended at a higher index (Fig. 6).
+
+        Within a batch the template's cached before sets are the complete
+        intra-block order (the generator and the edit planner both emit
+        every local conflict edge), so the object-conflict tracker only
+        contributes *cross-batch* dependencies — ordering this instance
+        against earlier instances, patches, and central commands.
+        """
+        batch = {cmd.cid for cmd in commands}
+        for cmd, meta in zip(commands, metas):
+            self._register(cmd, meta)
+        for cmd in commands:
+            self._resolve(cmd, exclude=batch)
+
+    def _register(self, cmd: Command, meta: Tuple) -> None:
+        self._pending[cmd.cid] = cmd
+        self._meta[cmd.cid] = meta
+        self._remaining[cmd.cid] = -1  # not yet resolved
+
+    def _resolve(self, cmd: Command, exclude=frozenset()) -> None:
+        cid = cmd.cid
+        deps = set()
+        for dep in cmd.before:
+            if dep in self._pending and dep != cid:
+                deps.add(dep)
+        for oid in cmd.read:
+            writer = self._last_writer.get(oid)
+            if (writer is not None and writer in self._pending
+                    and writer != cid and writer not in exclude):
+                deps.add(writer)
+        for oid in cmd.write:
+            writer = self._last_writer.get(oid)
+            if (writer is not None and writer in self._pending
+                    and writer != cid and writer not in exclude):
+                deps.add(writer)
+            for reader in self._readers_since.get(oid, ()):
+                if (reader in self._pending and reader != cid
+                        and reader not in exclude):
+                    deps.add(reader)
+        # update the conflict tracker
+        for oid in cmd.read:
+            self._readers_since.setdefault(oid, []).append(cid)
+        for oid in cmd.write:
+            self._last_writer[oid] = cid
+            self._readers_since[oid] = []
+
+        remaining = len(deps)
+        if cmd.kind == CommandKind.RECV:
+            if cmd.tag in self._data_buffer:
+                pass  # data already here; no extra dependency
+            else:
+                self._expected[cmd.tag] = cid
+                remaining += 1
+        self._remaining[cid] = remaining
+        for dep in deps:
+            self._dependents.setdefault(dep, []).append(cid)
+        if remaining == 0:
+            self._on_ready(cmd)
+
+    def _on_data(self, msg: P.DataMessage) -> None:
+        self._data_buffer[msg.tag] = (msg.payload, msg.size_bytes)
+        cid = self._expected.pop(msg.tag, None)
+        if cid is not None:
+            self._dec(cid)
+
+    def _dec(self, cid: int) -> None:
+        self._remaining[cid] -= 1
+        if self._remaining[cid] == 0:
+            self._on_ready(self._pending[cid])
+
+    def _on_ready(self, cmd: Command) -> None:
+        kind = cmd.kind
+        if kind == CommandKind.TASK:
+            self._ready_tasks.append(cmd)
+            self._maybe_start_tasks()
+        elif kind == CommandKind.SEND:
+            self._execute_send(cmd)
+        elif kind == CommandKind.RECV:
+            payload, _size = self._data_buffer.pop(cmd.tag)
+            for oid in cmd.write:
+                self.store.put(oid, payload)
+            self._complete(cmd, duration=0.0)
+        elif kind == CommandKind.CREATE:
+            for oid in cmd.write:
+                self.store.create(oid)
+            self._complete(cmd, duration=0.0)
+        else:
+            raise ValueError(f"unhandled ready command kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _maybe_start_tasks(self) -> None:
+        while self._free_slots > 0 and self._ready_tasks:
+            cmd = self._ready_tasks.popleft()
+            self._free_slots -= 1
+            fn = self.registry.get(cmd.function)
+            duration = fn.duration_of(cmd.params, self.worker_id)
+            duration *= self.duration_scale
+            epoch = self._epoch
+            self.call_later(duration, self._task_finished, cmd, duration, epoch)
+
+    def _task_finished(self, cmd: Command, duration: float, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # halted since this task started
+        self.charge(self.costs.worker_complete_per_command + self.callback_overhead)
+        fn = self.registry.get(cmd.function)
+        if fn.fn is not None:
+            ctx = TaskContext(self.store, cmd.params, self.worker_id,
+                              cmd.read, cmd.write)
+            fn.fn(ctx)
+        self._free_slots += 1
+        self.tasks_executed += 1
+        self.metrics.incr("tasks_executed")
+        self._complete(cmd, duration)
+        self._maybe_start_tasks()
+
+    def _execute_send(self, cmd: Command) -> None:
+        oid = cmd.read[0]
+        payload = self.store.get(oid)
+        peer = self.peers[cmd.dst_worker]
+        self.send(peer, P.DataMessage(cmd.tag, oid, payload, cmd.size_bytes))
+        self._complete(cmd, duration=0.0)
+
+    # ------------------------------------------------------------------
+    # Completion bookkeeping
+    # ------------------------------------------------------------------
+    def _complete(self, cmd: Command, duration: float) -> None:
+        cid = cmd.cid
+        del self._pending[cid]
+        del self._remaining[cid]
+        meta_key, report = self._meta.pop(cid)
+        for dep in self._dependents.pop(cid, ()):
+            if dep in self._remaining:
+                self._dec(dep)
+        value = None
+        if report and cmd.write:
+            value = self.store.get(cmd.write[0])
+        if meta_key is None:
+            return  # patch command: no ack needed
+        scope, key = meta_key
+        if scope == "central":
+            oid = cmd.write[0] if (report and cmd.write) else None
+            self.send(self.controller, P.CommandComplete(
+                self.worker_id, cid, key, duration, value, oid,
+            ))
+        else:
+            record = self._instances[key]
+            record.remaining -= 1
+            if cmd.kind == CommandKind.TASK:
+                record.compute_time += duration
+            if report and cmd.write:
+                record.values[cmd.write[0]] = value
+            if record.remaining == 0:
+                self._finish_instance(record)
+
+    def _finish_instance(self, record: _InstanceRecord) -> None:
+        del self._instances[(record.block_id, record.instance_id)]
+        self.send(self.controller, P.InstanceComplete(
+            self.worker_id, record.block_id, record.instance_id,
+            record.block_seq, record.compute_time, record.values,
+        ))
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery (§4.4)
+    # ------------------------------------------------------------------
+    def _on_save_checkpoint(self, msg: P.SaveCheckpoint) -> None:
+        total_bytes = 0
+        for oid in self.store.live_objects():
+            payload = self.store.get(oid)
+            self.storage.save(msg.checkpoint_id, oid, copy.deepcopy(payload))
+            total_bytes += 1024  # accounting proxy; sizes modeled below
+        delay = (self.costs.storage_latency
+                 + total_bytes / self.costs.storage_bandwidth)
+        self.call_later(delay, self._ack_checkpoint, msg.checkpoint_id)
+
+    def _ack_checkpoint(self, checkpoint_id: int) -> None:
+        self.send(self.controller,
+                  P.CheckpointAck(self.worker_id, checkpoint_id))
+
+    def _on_load_checkpoint(self, msg: P.LoadCheckpoint) -> None:
+        for oid in msg.oids:
+            self.store.put(oid, self.storage.load(msg.checkpoint_id, oid))
+        delay = (self.costs.storage_latency
+                 + 1024 * len(msg.oids) / self.costs.storage_bandwidth)
+        self.call_later(delay, self._ack_load, msg.checkpoint_id)
+
+    def _ack_load(self, checkpoint_id: int) -> None:
+        self.send(self.controller, P.LoadAck(self.worker_id, checkpoint_id))
+
+    def _on_halt(self) -> None:
+        """Terminate ongoing tasks, flush queues, respond (§4.4)."""
+        self._epoch += 1
+        self._pending.clear()
+        self._remaining.clear()
+        self._dependents.clear()
+        self._meta.clear()
+        self._ready_tasks.clear()
+        self._free_slots = self.slots
+        self._last_writer.clear()
+        self._readers_since.clear()
+        self._data_buffer.clear()
+        self._expected.clear()
+        self._instances.clear()
+        self.send(self.controller, P.HaltAck(self.worker_id))
+
+    # ------------------------------------------------------------------
+    # Failure injection and heartbeats
+    # ------------------------------------------------------------------
+    def start_heartbeats(self, interval: float) -> None:
+        self._hb_interval = interval
+        self.call_later(interval, self._heartbeat)
+
+    def _heartbeat(self) -> None:
+        if self._dead:
+            return
+        self.send(self.controller, P.Heartbeat(self.worker_id))
+        self.call_later(self._hb_interval, self._heartbeat)
+
+    def fail(self) -> None:
+        """Kill this worker: it stops processing and drops off the network."""
+        self._dead = True
+        self._epoch += 1
+        if self.network is not None:
+            self.network.partition(self.name)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+    @property
+    def queued_commands(self) -> int:
+        return len(self._pending)
+
+    def has_template(self, block_id: str, version: int) -> bool:
+        return (block_id, version) in self._templates
+
+    def template_half(self, block_id: str, version: int) -> WorkerHalf:
+        return self._templates[(block_id, version)]

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+Provides the virtual clock (:class:`Simulator`), serial-control-thread nodes
+(:class:`Actor`), the latency/bandwidth network model (:class:`Network`),
+deterministic RNG substreams (:class:`SeedSequence`), and run metrics
+(:class:`Metrics`).
+"""
+
+from .actor import Actor, Message
+from .engine import Event, SimulationError, Simulator
+from .metrics import Interval, Metrics
+from .network import Network
+from .rng import SeedSequence
+
+__all__ = [
+    "Actor",
+    "Event",
+    "Interval",
+    "Message",
+    "Metrics",
+    "Network",
+    "SeedSequence",
+    "SimulationError",
+    "Simulator",
+]

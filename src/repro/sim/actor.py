@@ -1,0 +1,134 @@
+"""Actors: simulated nodes with a serial control thread.
+
+Every node in the system (controller, worker, driver) is an :class:`Actor`.
+An actor owns a single *control thread*: messages delivered to the actor are
+handled one at a time, and each handler charges virtual CPU time via
+:meth:`Actor.charge`. This serial service queue is exactly what makes a
+centralized control plane a bottleneck — the effect the paper measures — so
+it is the load-bearing part of the simulation substrate.
+
+Handlers run as real Python code (they mutate real template and task-graph
+data structures); only the *clock* is modeled. Outgoing messages sent during
+a handler depart when the handler's charged time elapses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from .engine import Simulator
+
+
+class Message:
+    """Base class for messages exchanged between actors.
+
+    ``size_bytes`` is used by the network's bandwidth model. Subclasses are
+    plain data holders; handlers dispatch on type.
+    """
+
+    size_bytes: int = 256
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class _Callback(Message):
+    """Internal message used to run a timer callback on the control thread."""
+
+    size_bytes = 0
+
+    def __init__(self, fn: Callable, args: Tuple):
+        self.fn = fn
+        self.args = args
+
+
+class Actor:
+    """A simulated node with a serial message-handling control thread.
+
+    Subclasses override :meth:`handle` and call :meth:`charge` to account
+    for control-plane CPU time. Use :meth:`send` to transmit messages via
+    the attached network and :meth:`call_later` for timers (which are also
+    serviced by the control thread, preserving serialization).
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.network = None  # attached by Network.attach()
+        self._inbox: Deque[Message] = deque()
+        self._busy_until: float = 0.0
+        self._draining: bool = False
+        self._charged: float = 0.0
+        self._handler_start: float = 0.0
+        self.busy_time: float = 0.0  # cumulative control-thread busy seconds
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: "Actor", msg: Message) -> None:
+        """Send ``msg`` to ``dst`` through the network.
+
+        When called from inside a handler, the message departs once the
+        handler's charged CPU time has elapsed.
+        """
+        if self.network is None:
+            raise RuntimeError(f"actor {self.name} is not attached to a network")
+        depart = max(self.sim.now, self._handler_start + self._charged)
+        self.network.transmit(self, dst, msg, depart)
+
+    def deliver(self, msg: Message) -> None:
+        """Called by the network when a message arrives at this actor."""
+        self._inbox.append(msg)
+        if not self._draining:
+            self._draining = True
+            start = max(self.sim.now, self._busy_until)
+            self.sim.schedule_at(start, self._drain)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` on this actor's control thread after ``delay``."""
+        self.sim.schedule(delay, self.deliver, _Callback(fn, args))
+
+    # ------------------------------------------------------------------
+    # Control-thread accounting
+    # ------------------------------------------------------------------
+    def charge(self, seconds: float) -> None:
+        """Charge virtual CPU time to the current handler invocation."""
+        if seconds < 0:
+            raise ValueError(f"negative charge {seconds!r}")
+        self._charged += seconds
+
+    @property
+    def control_queue_length(self) -> int:
+        """Number of messages waiting for the control thread."""
+        return len(self._inbox)
+
+    def _drain(self) -> None:
+        if not self._inbox:
+            self._draining = False
+            return
+        msg = self._inbox.popleft()
+        self._charged = 0.0
+        self._handler_start = self.sim.now
+        if isinstance(msg, _Callback):
+            msg.fn(*msg.args)
+        else:
+            self.handle(msg)
+        cost = self._charged
+        self._charged = 0.0
+        self.busy_time += cost
+        self._busy_until = self._handler_start + cost
+        if self._inbox:
+            self.sim.schedule_at(max(self.sim.now, self._busy_until), self._drain)
+        else:
+            self._draining = False
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        """Handle one message. Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

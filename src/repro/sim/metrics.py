@@ -1,0 +1,81 @@
+"""Metric collection for simulation runs.
+
+A :class:`Metrics` instance collects three kinds of data:
+
+* **counters** — monotonically increasing named counts (tasks executed,
+  messages handled, patch-cache hits, ...)
+* **series** — timestamped (t, value) samples per name (task throughput,
+  queue lengths, ...)
+* **intervals** — named (start, end, labels) spans (iterations, template
+  install phases, ...), which the analysis layer turns into the per-iteration
+  control-vs-computation breakdowns the paper plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Interval:
+    """A named time span with free-form labels."""
+
+    __slots__ = ("name", "start", "end", "labels")
+
+    def __init__(self, name: str, start: float, labels: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.labels: Dict[str, Any] = labels or {}
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"interval {self.name!r} is still open")
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Interval {self.name} [{self.start:.6f}, {self.end}] {self.labels}>"
+
+
+class Metrics:
+    """Collects counters, time series, and intervals from a run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self.intervals: Dict[str, List[Interval]] = defaultdict(list)
+        self._open: Dict[Tuple[str, Any], Interval] = {}
+
+    # -- counters -------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def count(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # -- series ---------------------------------------------------------
+    def sample(self, name: str, time: float, value: float) -> None:
+        self.series[name].append((time, value))
+
+    # -- intervals ------------------------------------------------------
+    def begin(self, name: str, time: float, key: Any = None, **labels: Any) -> Interval:
+        """Open an interval. ``key`` distinguishes concurrent spans."""
+        interval = Interval(name, time, labels)
+        self._open[(name, key)] = interval
+        return interval
+
+    def end(self, name: str, time: float, key: Any = None, **labels: Any) -> Interval:
+        """Close the open interval with the same (name, key)."""
+        interval = self._open.pop((name, key))
+        interval.end = time
+        interval.labels.update(labels)
+        self.intervals[name].append(interval)
+        return interval
+
+    def durations(self, name: str) -> List[float]:
+        """Durations of all closed intervals with ``name``."""
+        return [iv.duration for iv in self.intervals.get(name, [])]
+
+    def label_values(self, name: str, label: str) -> List[Any]:
+        return [iv.labels.get(label) for iv in self.intervals.get(name, [])]

@@ -1,0 +1,81 @@
+"""Network model: point-to-point links with latency and bandwidth.
+
+The paper runs all nodes in one EC2 placement group with full bisection
+bandwidth, so the model is a full mesh of independent links. Each directed
+(src, dst) pair has a FIFO link whose serialization time is
+``size_bytes / bandwidth``; propagation adds a fixed ``latency``.
+
+Messages between actors on the same node (src is dst) are delivered with a
+small loopback latency and no bandwidth charge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .actor import Actor, Message
+from .engine import Simulator
+
+
+class Network:
+    """Full-mesh network connecting actors.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    latency:
+        One-way propagation delay in seconds (default 100 µs, a typical
+        intra-placement-group RTT/2 on EC2).
+    bandwidth:
+        Per-link bandwidth in bytes/second (default 1.25 GB/s ≈ 10 Gb/s).
+    loopback_latency:
+        Delivery delay for messages an actor sends to itself.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 100e-6,
+        bandwidth: float = 1.25e9,
+        loopback_latency: float = 1e-6,
+    ):
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.loopback_latency = loopback_latency
+        self._link_free: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.partitioned: set = set()  # names of actors cut off (failure injection)
+
+    def attach(self, actor: Actor) -> Actor:
+        """Attach an actor so it can send through this network."""
+        actor.network = self
+        return actor
+
+    def partition(self, actor_name: str) -> None:
+        """Cut an actor off from the network (used for failure injection)."""
+        self.partitioned.add(actor_name)
+
+    def heal(self, actor_name: str) -> None:
+        """Reconnect a previously partitioned actor."""
+        self.partitioned.discard(actor_name)
+
+    def transmit(self, src: Actor, dst: Actor, msg: Message, depart: float) -> None:
+        """Transmit ``msg`` from ``src`` to ``dst``, departing at ``depart``."""
+        if src.name in self.partitioned or dst.name in self.partitioned:
+            return  # silently dropped, like a dead TCP peer
+        self.messages_sent += 1
+        size = getattr(msg, "size_bytes", 0)
+        self.bytes_sent += size
+        if src is dst:
+            arrive = depart + self.loopback_latency
+        else:
+            key = (src.name, dst.name)
+            free = self._link_free.get(key, 0.0)
+            start = max(depart, free)
+            done = start + size / self.bandwidth
+            self._link_free[key] = done
+            arrive = done + self.latency
+        self.sim.schedule_at(max(arrive, self.sim.now), dst.deliver, msg)

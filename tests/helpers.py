@@ -1,0 +1,83 @@
+"""Shared test helpers: tiny programs, reference interpreters, builders."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import FunctionRegistry, NimbusCluster
+
+
+def combine_registry() -> FunctionRegistry:
+    """Registry with a deterministic value-combining task function.
+
+    ``combine`` writes a hash-like fold of its read payloads and parameter,
+    so any reordering or missed copy changes the result — ideal for
+    verifying read-latest-value semantics end to end.
+    """
+    registry = FunctionRegistry()
+
+    def combine(ctx):
+        acc = 17
+        for value in ctx.reads():
+            acc = (acc * 31 + (value if value is not None else 7)) % 1000003
+        if ctx.params is not None:
+            acc = (acc * 31 + ctx.params) % 1000003
+        ctx.write(ctx.write_set[0], acc)
+
+    def seed(ctx):
+        ctx.write(ctx.write_set[0], ctx.params if ctx.params is not None else 1)
+
+    registry.register("combine", fn=combine, duration=1e-3)
+    registry.register("seed", fn=seed, duration=1e-4)
+    return registry
+
+
+def reference_execute(blocks: Sequence[Tuple[BlockSpec, Dict[str, Any]]],
+                      initial: Optional[Dict[int, Any]] = None) -> Dict[int, Any]:
+    """Sequential reference interpreter: run blocks in program order on a
+    single global store, with the same ``combine``/``seed`` semantics."""
+    store: Dict[int, Any] = dict(initial or {})
+    for block, params in blocks:
+        for _stage, task in block.all_tasks():
+            param = params.get(task.param_slot) if task.param_slot else None
+            if task.function == "seed":
+                store[task.write[0]] = param if param is not None else 1
+            elif task.function == "combine":
+                acc = 17
+                for oid in task.read:
+                    value = store.get(oid)
+                    acc = (acc * 31 + (value if value is not None else 7)) % 1000003
+                if param is not None:
+                    acc = (acc * 31 + param) % 1000003
+                store[task.write[0]] = acc
+            else:
+                raise ValueError(f"unknown reference function {task.function}")
+    return store
+
+
+def run_program(program, registry, num_workers=2, use_templates=True,
+                max_seconds=1e5, **kwargs):
+    """Build a cluster, run the program to completion, return the cluster."""
+    cluster = NimbusCluster(num_workers, program, registry=registry,
+                            use_templates=use_templates, **kwargs)
+    cluster.run_until_finished(max_seconds=max_seconds)
+    return cluster
+
+
+def simple_define(objects: Dict[int, Tuple[str, int]], homes=None):
+    """Build a job.define() payload: {oid: (name, size)} (+ optional homes)."""
+    homes = homes or {}
+    return [(oid, name, 0, size, homes.get(oid))
+            for oid, (name, size) in objects.items()]
+
+
+def worker_values(cluster: NimbusCluster, oids) -> Dict[int, Any]:
+    """Read each object's value from the worker holding its latest version."""
+    directory = cluster.controller.directory
+    out = {}
+    for oid in oids:
+        holders = directory.holders_of_latest(oid)
+        assert holders, f"object {oid} has no latest holder"
+        out[oid] = cluster.workers[min(holders)].store.get(oid)
+    return out

@@ -1,0 +1,107 @@
+"""Tests for the analysis layer: breakdowns, throughput, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    iteration_breakdowns,
+    mean_iteration_time,
+    render_bars,
+    render_series,
+    render_table,
+    task_throughput,
+)
+from repro.analysis.breakdown import mean_compute_time
+from repro.sim.metrics import Metrics
+
+
+def synthetic_metrics(iteration_times, compute=0.04, tasks=100,
+                      block_id="iter"):
+    """Build metrics as the controller/driver would for a steady run."""
+    metrics = Metrics()
+    t = 0.0
+    for i, duration in enumerate(iteration_times, start=1):
+        metrics.begin("driver_block", t, key=i, block_id=block_id,
+                      request_id=i)
+        metrics.begin("block", t, key=i, block_id=block_id, seq=i,
+                      mode="template", num_tasks=tasks, request_id=i)
+        t += duration
+        metrics.end("block", t, key=i, compute=compute, results={})
+        metrics.end("driver_block", t, key=i, results={})
+    return metrics
+
+
+class TestBreakdowns:
+    def test_joins_driver_and_controller_views(self):
+        metrics = synthetic_metrics([0.1, 0.1, 0.1])
+        rows = iteration_breakdowns(metrics)
+        assert len(rows) == 3
+        assert rows[0].total == pytest.approx(0.1)
+        assert rows[0].compute == pytest.approx(0.04)
+        assert rows[0].control == pytest.approx(0.06)
+        assert rows[0].num_tasks == 100
+        assert rows[0].mode == "template"
+
+    def test_control_never_negative(self):
+        metrics = synthetic_metrics([0.02], compute=0.05)
+        rows = iteration_breakdowns(metrics)
+        assert rows[0].control == 0.0
+
+    def test_filter_by_block(self):
+        metrics = synthetic_metrics([0.1])
+        assert iteration_breakdowns(metrics, block_id="other") == []
+
+    def test_mean_iteration_time_steady_state(self):
+        # warm-up 1s, then 0.1s steady iterations
+        metrics = synthetic_metrics([1.0, 0.1, 0.1, 0.1, 0.1])
+        assert mean_iteration_time(metrics, "iter", skip=1) == pytest.approx(0.1)
+
+    def test_mean_iteration_time_without_skip_spans_all(self):
+        metrics = synthetic_metrics([0.2, 0.2])
+        assert mean_iteration_time(metrics, "iter") == pytest.approx(0.2)
+
+    def test_mean_iteration_requires_enough_samples(self):
+        metrics = synthetic_metrics([0.1])
+        with pytest.raises(ValueError):
+            mean_iteration_time(metrics, "iter", skip=5)
+
+    def test_task_throughput(self):
+        metrics = synthetic_metrics([0.1, 0.1, 0.1], tasks=50)
+        assert task_throughput(metrics, "iter", skip=1) == pytest.approx(500.0)
+
+    def test_mean_compute_time(self):
+        metrics = synthetic_metrics([0.1, 0.1], compute=0.03)
+        assert mean_compute_time(metrics, "iter") == pytest.approx(0.03)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table("T1", ["name", "value"],
+                           [["a", 1.0], ["long-name", 123456.0]])
+        lines = out.splitlines()
+        assert lines[0] == "=== T1 ==="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # all data rows have the same width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_render_table_float_formats(self):
+        out = render_table("T", ["v"], [[0.0000001], [0.5], [12345678.0], [0]])
+        assert "1.000e-07" in out
+        assert "0.5" in out
+        assert "1.235e+07" in out
+
+    def test_render_series(self):
+        out = render_series("Fig", "workers", [20, 50],
+                            {"nimbus": [0.21, 0.10], "spark": [0.44, 0.75]},
+                            unit="s")
+        assert "workers" in out
+        assert "nimbus (s)" in out
+        assert "0.21" in out and "0.75" in out
+
+    def test_render_bars(self):
+        out = render_bars("F", ["mpi", "nimbus"], [1.0, 2.0], unit="s")
+        lines = out.splitlines()
+        assert lines[1].count("#") * 2 <= lines[2].count("#") + 1
+
+    def test_render_bars_empty_safe(self):
+        assert render_bars("F", [], []).startswith("=== F ===")

@@ -1,0 +1,181 @@
+"""Tests for the Spark-like, Naiad-like, and MPI-like baselines."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LRApp, LRSpec
+from repro.baselines import (
+    MPICluster,
+    NaiadCluster,
+    SparkCluster,
+    make_mpi_costs,
+    make_spark_costs,
+)
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+from repro.analysis import mean_iteration_time, task_throughput
+
+
+def small_lr(**kwargs):
+    defaults = dict(num_workers=2, data_bytes=2e9, partitions_per_worker=2,
+                    dim=8, iterations=6, real_compute=True,
+                    rows_per_partition=100)
+    defaults.update(kwargs)
+    return LRApp(LRSpec(**defaults))
+
+
+def timing_lr(num_workers, iterations=12):
+    return LRApp(LRSpec(num_workers=num_workers, iterations=iterations))
+
+
+class TestSpark:
+    def test_produces_same_results_as_nimbus(self):
+        app_a = small_lr()
+        nimbus = NimbusCluster(2, app_a.program(blocking=True),
+                               registry=app_a.registry)
+        nimbus.run_until_finished(max_seconds=1e5)
+        app_b = small_lr()
+        spark = SparkCluster(2, app_b.program(blocking=True),
+                             registry=app_b.registry)
+        spark.run_until_finished(max_seconds=1e5)
+        assert np.allclose(nimbus.workers[0].store.get(app_a.coeff),
+                           spark.workers[0].store.get(app_b.coeff))
+
+    def test_cost_profile(self):
+        costs = make_spark_costs()
+        assert costs.central_schedule_per_task == pytest.approx(166e-6)
+        assert costs.central_receive_per_task == 0.0
+
+    def test_throughput_saturates_near_6000(self):
+        """Fig. 8: Spark's scheduler caps near 6,000 tasks/second."""
+        app = timing_lr(50)
+        cluster = SparkCluster(50, app.program(blocking=False),
+                               registry=app.registry)
+        cluster.run_until_finished(max_seconds=1e5)
+        throughput = task_throughput(cluster.metrics, "lr.iteration", skip=4)
+        assert 3000 < throughput < 6100
+
+    def test_no_templates_ever(self):
+        app = small_lr()
+        cluster = SparkCluster(2, app.program(blocking=True),
+                               registry=app.registry)
+        cluster.run_until_finished(max_seconds=1e5)
+        assert cluster.metrics.count("template_instantiations") == 0
+        assert cluster.metrics.count("worker_templates_installed") == 0
+
+    def test_stage_barriers_serialize_blocks(self):
+        """BSP: iteration completions are spaced by at least one
+        iteration's serial dispatch time — blocks never overlap."""
+        app = timing_lr(4, iterations=6)
+        cluster = SparkCluster(4, app.program(blocking=False),
+                               registry=app.registry)
+        cluster.run_until_finished(max_seconds=1e5)
+        ends = sorted(iv.end for iv in cluster.metrics.intervals["block"]
+                      if iv.labels["block_id"] == "lr.iteration")
+        tasks_per_iter = app.spec.num_partitions
+        min_spacing = 0.9 * tasks_per_iter * 166e-6
+        for before, after in zip(ends, ends[1:]):
+            assert after - before >= min_spacing
+
+
+class TestNaiad:
+    def test_produces_same_results_as_nimbus(self):
+        app_a = small_lr()
+        nimbus = NimbusCluster(2, app_a.program(blocking=True),
+                               registry=app_a.registry)
+        nimbus.run_until_finished(max_seconds=1e5)
+        app_b = small_lr()
+        naiad = NaiadCluster(2, app_b.program(blocking=True),
+                             registry=app_b.registry)
+        naiad.run_until_finished(max_seconds=1e5)
+        assert np.allclose(nimbus.workers[0].store.get(app_a.coeff),
+                           naiad.workers[0].store.get(app_b.coeff))
+
+    def test_installs_once_and_runs_distributed(self):
+        app = small_lr(iterations=8)
+        cluster = NaiadCluster(2, app.program(blocking=True),
+                               registry=app.registry)
+        cluster.run_until_finished(max_seconds=1e5)
+        # one install per distinct block (init + iteration)
+        assert cluster.metrics.count("naiad_installs") == 2
+        # no central per-task scheduling after install
+        assert cluster.metrics.count("full_validations") == 0
+        assert cluster.metrics.count("auto_validations") == 0
+
+    def test_migration_reinstalls_whole_graph(self):
+        app = small_lr(iterations=10)
+        box = {}
+        base_program = app.program(blocking=True)
+
+        def program(job):
+            gen = base_program(job)
+            count = 0
+            value = None
+            while True:
+                try:
+                    directive = gen.send(value)
+                except StopIteration:
+                    return
+                count += 1
+                if count == 6:
+                    box["cluster"].controller.deliver(P.ManagerDirective(
+                        lambda c: c.migrate_tasks("lr.iteration", [(0, 1)])))
+                value = yield directive
+
+        cluster = NaiadCluster(2, program, registry=app.registry)
+        box["cluster"] = cluster
+        cluster.run_until_finished(max_seconds=1e5)
+        # install(init) + install(iteration) + reinstall(migration)
+        assert cluster.metrics.count("naiad_installs") == 3
+        assert cluster.metrics.count("edits_applied") == 0
+
+    def test_workers_charge_callback_overhead(self):
+        app = small_lr()
+        cluster = NaiadCluster(2, app.program(blocking=True),
+                               registry=app.registry)
+        assert cluster.workers[0].callback_overhead == pytest.approx(
+            cluster.costs.naiad_callback_per_task)
+
+
+class TestMPI:
+    def test_zero_control_costs(self):
+        costs = make_mpi_costs()
+        assert costs.central_schedule_per_task == 0.0
+        assert costs.instantiate_worker_template_auto_per_task == 0.0
+        assert costs.edit_per_task == 0.0
+        # storage still behaves like storage
+        assert costs.storage_bandwidth > 0
+
+    def test_produces_same_results_as_nimbus(self):
+        app_a = small_lr()
+        nimbus = NimbusCluster(2, app_a.program(blocking=True),
+                               registry=app_a.registry)
+        nimbus.run_until_finished(max_seconds=1e5)
+        app_b = small_lr()
+        mpi = MPICluster(2, app_b.program(blocking=True),
+                         registry=app_b.registry)
+        mpi.run_until_finished(max_seconds=1e5)
+        assert np.allclose(nimbus.workers[0].store.get(app_a.coeff),
+                           mpi.workers[0].store.get(app_b.coeff))
+
+    def test_faster_than_nimbus_which_beats_spark(self):
+        """Fig. 11 ordering: MPI ≤ Nimbus ≪ Nimbus-without-templates, and
+        Spark (central per-task) is the slowest control plane."""
+        times = {}
+        for name, cls, kwargs in (
+            ("mpi", MPICluster, {}),
+            ("nimbus", NimbusCluster, {"use_templates": True}),
+            ("central", NimbusCluster, {"use_templates": False}),
+            ("spark", SparkCluster, {}),
+        ):
+            # 40 workers: enough parallelism that a central per-task
+            # control plane is the bottleneck (Fig. 1's regime)
+            app = timing_lr(40, iterations=10)
+            cluster = cls(40, app.program(blocking=False),
+                          registry=app.registry, **kwargs)
+            cluster.run_until_finished(max_seconds=1e5)
+            times[name] = mean_iteration_time(
+                cluster.metrics, "lr.iteration", skip=5)
+        assert times["mpi"] <= times["nimbus"] * 1.05
+        assert times["nimbus"] < 0.7 * times["central"]
+        assert times["nimbus"] < 0.7 * times["spark"]

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_workloads():
+    parser = build_parser()
+    for workload in ("lr", "kmeans", "water", "regression"):
+        args = parser.parse_args([workload, "--workers", "2"])
+        assert args.workers == 2
+        assert callable(args.fn)
+
+
+def test_lr_runs_end_to_end(capsys):
+    assert main(["lr", "--workers", "4", "--iterations", "6",
+                 "--data-gb", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "logistic regression" in out
+    assert "steady-state iteration time" in out
+    assert "auto_validations" in out
+
+
+def test_lr_spark_system(capsys):
+    assert main(["lr", "--workers", "4", "--iterations", "6",
+                 "--data-gb", "4", "--system", "spark"]) == 0
+    out = capsys.readouterr().out
+    assert "system=spark" in out
+    assert "template_instantiations" not in out  # Spark never instantiates
+
+
+def test_lr_without_templates(capsys):
+    assert main(["lr", "--workers", "4", "--iterations", "6",
+                 "--data-gb", "4", "--no-templates"]) == 0
+    out = capsys.readouterr().out
+    assert "template_instantiations" not in out
+
+
+def test_kmeans_real_compute(capsys):
+    assert main(["kmeans", "--workers", "2", "--iterations", "5",
+                 "--data-gb", "2", "--real"]) == 0
+    assert "k-means" in capsys.readouterr().out
+
+
+def test_water_prints_frames(capsys):
+    assert main(["water", "--workers", "4", "--scale", "0.01",
+                 "--frame-duration", "0.003"]) == 0
+    out = capsys.readouterr().out
+    assert "frame 0:" in out
+    assert "variables" in out
+
+
+def test_regression_reports_error(capsys):
+    assert main(["regression", "--workers", "3"]) == 0
+    assert "nested regression" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

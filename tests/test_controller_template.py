@@ -1,0 +1,120 @@
+"""Unit tests for controller templates (Figure 5a)."""
+
+import pytest
+
+from repro.core.controller_template import (
+    ControllerTemplate,
+    ControllerTemplateBuilder,
+)
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+
+
+def simple_block():
+    """Two producers feeding a consumer, plus an in-place update."""
+    return BlockSpec("blk", [
+        StageSpec("produce", [
+            LogicalTask("f", read=(), write=(1,)),
+            LogicalTask("f", read=(), write=(2,)),
+        ]),
+        StageSpec("consume", [
+            LogicalTask("g", read=(1, 2), write=(3,), param_slot="p"),
+        ]),
+        StageSpec("update", [
+            LogicalTask("h", read=(3,), write=(3,)),
+        ]),
+    ], returns={"out": 3})
+
+
+def test_from_block_structure():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    assert template.num_tasks == 4
+    assert template.block_id == "blk"
+    assert [e.worker for e in template.entries] == [0, 1, 0, 0]
+    assert template.returns == {"out": 3}
+
+
+def test_read_after_write_dependencies():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    consumer = template.entries[2]
+    assert set(consumer.before) == {0, 1}
+
+
+def test_write_after_read_and_write_dependencies():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    updater = template.entries[3]
+    # h writes object 3: it must follow g (the writer); h also reads 3
+    assert updater.before == (2,)
+
+
+def test_anti_dependency_on_readers():
+    block = BlockSpec("war", [
+        StageSpec("s1", [LogicalTask("f", read=(), write=(1,))]),
+        StageSpec("s2", [LogicalTask("g", read=(1,), write=(2,)),
+                         LogicalTask("g", read=(1,), write=(3,))]),
+        StageSpec("s3", [LogicalTask("f", read=(), write=(1,))]),
+    ])
+    template = ControllerTemplate.from_block(block, [0, 0, 0, 0])
+    overwriter = template.entries[3]
+    # the overwrite of object 1 must wait for both readers
+    assert set(overwriter.before) == {0, 1, 2}
+
+
+def test_param_slots_cached_not_values():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    assert template.entries[2].param_slot == "p"
+    instance = template.instantiate(100, {"p": 42})
+    assert instance.param_of(template.entries[2]) == 42
+    assert instance.param_of(template.entries[0]) is None
+
+
+def test_instantiate_task_ids_index_into_array():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    instance = template.instantiate(1000, {})
+    assert [instance.task_id(i) for i in range(4)] == [1000, 1001, 1002, 1003]
+
+
+def test_instantiations_share_fixed_structure():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    a = template.instantiate(10, {"p": 1})
+    b = template.instantiate(20, {"p": 2})
+    assert a.template is b.template
+    assert a.task_id(2) != b.task_id(2)
+
+
+def test_reassign_and_queries():
+    template = ControllerTemplate.from_block(simple_block(), [0, 1, 0, 0])
+    template.reassign(2, 1)
+    assert template.entries[2].worker == 1
+    assert template.workers_used() == [0, 1]
+    assert len(template.entries_on(0)) == 2
+
+
+def test_builder_records_assignments():
+    block = simple_block()
+    builder = ControllerTemplateBuilder(block)
+    for worker in (0, 1, 0, 1):
+        builder.record(worker)
+    template = builder.finish()
+    assert [e.worker for e in template.entries] == [0, 1, 0, 1]
+
+
+def test_builder_rejects_wrong_count():
+    builder = ControllerTemplateBuilder(simple_block())
+    builder.record(0)
+    with pytest.raises(ValueError):
+        builder.finish()
+
+
+def test_signature_matches_block():
+    block = simple_block()
+    template = ControllerTemplate.from_block(block, [0, 1, 0, 0])
+    assert template.signature == block.structure_signature()
+
+
+def test_structure_signature_ignores_ids_not_structure():
+    a = simple_block()
+    b = simple_block()
+    assert a.structure_signature() == b.structure_signature()
+    c = BlockSpec("blk", [StageSpec("produce", [
+        LogicalTask("f", read=(), write=(9,))])])
+    assert c.structure_signature() != a.structure_signature()

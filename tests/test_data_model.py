@@ -1,0 +1,134 @@
+"""Unit tests for the mutable-object data model."""
+
+import pytest
+
+from repro.nimbus.data import (
+    LogicalObject,
+    ObjectDirectory,
+    ObjectStore,
+    PartitionPlacement,
+)
+
+
+def make_directory():
+    directory = ObjectDirectory()
+    directory.register(LogicalObject(1, "x", 0, 100), home=0)
+    directory.register(LogicalObject(2, "x", 1, 100), home=1)
+    return directory
+
+
+class TestObjectDirectory:
+    def test_registration_initial_state(self):
+        directory = make_directory()
+        assert directory.latest_version(1) == 0
+        assert directory.holders_of_latest(1) == [0]
+        assert directory.is_fresh(1, 0)
+        assert not directory.is_fresh(1, 1)
+        assert 1 in directory and 99 not in directory
+
+    def test_write_bumps_version_and_narrows_holders(self):
+        directory = make_directory()
+        directory.record_copy(1, 1)
+        assert sorted(directory.holders_of_latest(1)) == [0, 1]
+        version = directory.record_write(1, 1)
+        assert version == 1
+        assert directory.latest_version(1) == 1
+        assert directory.holders_of_latest(1) == [1]
+        assert not directory.is_fresh(1, 0)
+
+    def test_copy_spreads_latest(self):
+        directory = make_directory()
+        directory.record_write(1, 0)
+        directory.record_copy(1, 1)
+        assert directory.is_fresh(1, 1)
+
+    def test_stale_copy_not_latest(self):
+        directory = make_directory()
+        directory.record_copy(1, 1)  # version 0 copy
+        directory.record_write(1, 0)  # version 1 at worker 0
+        assert directory.holders_of_latest(1) == [0]
+        assert directory.holds_any(1, 1)
+
+    def test_snapshot_restore_roundtrip(self):
+        directory = make_directory()
+        directory.record_write(1, 0)
+        snap = directory.snapshot()
+        directory.record_write(1, 1)
+        directory.record_copy(2, 0)
+        directory.restore(snap)
+        assert directory.latest_version(1) == 1
+        assert directory.holders_of_latest(1) == [0]
+        assert directory.holders_of_latest(2) == [1]
+
+    def test_snapshot_is_deep(self):
+        directory = make_directory()
+        snap = directory.snapshot()
+        directory.record_write(1, 1)
+        latest, holders = snap
+        assert latest[1] == 0
+        assert holders[1] == {0: 0}
+
+    def test_evict_worker(self):
+        directory = make_directory()
+        directory.record_copy(1, 1)
+        directory.evict_worker(0)
+        assert directory.holders_of_latest(1) == [1]
+
+    def test_apply_block_delta(self):
+        directory = make_directory()
+        directory.apply_block_delta(1, 3, [0, 1])
+        assert directory.latest_version(1) == 3
+        assert sorted(directory.holders_of_latest(1)) == [0, 1]
+
+    def test_unregister(self):
+        directory = make_directory()
+        directory.unregister(1)
+        assert 1 not in directory
+
+
+class TestObjectStore:
+    def test_put_get(self):
+        store = ObjectStore()
+        store.create(1)
+        assert store.get(1) is None
+        store.put(1, "payload")
+        assert store.get(1) == "payload"
+        assert 1 in store
+
+    def test_destroy(self):
+        store = ObjectStore()
+        store.put(1, "x")
+        store.destroy(1)
+        assert 1 not in store
+        assert store.get(1) is None
+
+    def test_live_objects(self):
+        store = ObjectStore()
+        store.create(1)
+        store.create(5)
+        assert sorted(store.live_objects()) == [1, 5]
+
+
+class TestPartitionPlacement:
+    def test_round_robin_default(self):
+        placement = PartitionPlacement([0, 1, 2])
+        homes = [placement.place(oid) for oid in range(6)]
+        assert homes == [0, 1, 2, 0, 1, 2]
+
+    def test_explicit_placement(self):
+        placement = PartitionPlacement([0, 1])
+        assert placement.place(7, worker=1) == 1
+        assert placement.home(7) == 1
+
+    def test_migrate(self):
+        placement = PartitionPlacement([0, 1])
+        placement.place(1, worker=0)
+        placement.migrate(1, 1)
+        assert placement.home(1) == 1
+
+    def test_objects_on(self):
+        placement = PartitionPlacement([0, 1])
+        placement.place(1, worker=0)
+        placement.place(2, worker=1)
+        placement.place(3, worker=0)
+        assert sorted(placement.objects_on(0)) == [1, 3]

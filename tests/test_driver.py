@@ -1,0 +1,152 @@
+"""Unit tests for the driver: backpressure, directives, replay."""
+
+import pytest
+
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+
+from .helpers import combine_registry, simple_define
+
+
+def one_task_block(block_id="blk", oid=1):
+    return BlockSpec(block_id, [StageSpec("s", [
+        LogicalTask("combine", read=(), write=(oid,))])])
+
+
+def define_payload():
+    return simple_define({1: ("x", 8), 2: ("y", 8)})
+
+
+def test_backpressure_limits_inflight():
+    """Posting far more blocks than max_inflight keeps the submitted
+    window bounded; everything still completes, in order."""
+    block = one_task_block()
+    seen_inflight = []
+
+    def program(job):
+        yield job.define(define_payload())
+        for _ in range(20):
+            job.post(block)
+        yield job.drain()
+
+    cluster = NimbusCluster(1, program, registry=combine_registry())
+    driver = cluster.driver
+    original = driver._dispatch_request
+
+    def spying(request_id, blk, params):
+        seen_inflight.append(driver._outstanding - len(driver._backlog))
+        original(request_id, blk, params)
+
+    driver._dispatch_request = spying
+    cluster.run_until_finished(max_seconds=1e5)
+    assert max(seen_inflight) <= driver.max_inflight
+    assert len(driver.iteration_log) == 20
+    # iteration_log records (request, submit, complete) per request
+    request_ids = [r for r, _s, _e in driver.iteration_log]
+    assert request_ids == sorted(request_ids)
+
+
+def test_blocking_run_returns_results_in_program_order():
+    block_a = BlockSpec("a", [StageSpec("s", [
+        LogicalTask("seed", read=(), write=(1,), param_slot="v")])],
+        returns={"x": 1})
+    block_b = BlockSpec("b", [StageSpec("s", [
+        LogicalTask("combine", read=(1,), write=(2,))])], returns={"y": 2})
+    order = []
+
+    def program(job):
+        yield job.define(define_payload())
+        res_a = yield job.run(block_a, {"v": 9})
+        order.append(("a", res_a["x"]))
+        res_b = yield job.run(block_b)
+        order.append(("b", res_b["y"]))
+
+    cluster = NimbusCluster(2, program, registry=combine_registry())
+    cluster.run_until_finished(max_seconds=1e5)
+    assert order[0] == ("a", 9)
+    assert order[1][0] == "b" and order[1][1] is not None
+
+
+def test_enable_templates_mid_run():
+    block = one_task_block()
+
+    def program(job):
+        job.disable_templates()
+        yield job.define(define_payload())
+        for _ in range(3):
+            yield job.run(block)
+        job.enable_templates()
+        for _ in range(6):
+            yield job.run(block)
+
+    cluster = NimbusCluster(1, program, registry=combine_registry(),
+                            use_templates=False)
+    cluster.run_until_finished(max_seconds=1e5)
+    metrics = cluster.metrics
+    assert metrics.count("controller_templates_installed") == 1
+    assert metrics.count("template_instantiations") == 5
+    assert metrics.count("auto_validations") >= 1
+
+
+def test_unknown_directive_rejected():
+    def program(job):
+        yield ("frobnicate",)
+
+    cluster = NimbusCluster(1, program, registry=combine_registry())
+    with pytest.raises(ValueError):
+        cluster.run_until_finished(max_seconds=1e5)
+
+
+def test_empty_program_finishes_immediately():
+    cluster = NimbusCluster(1, lambda job: iter(()),
+                            registry=combine_registry())
+    job = cluster.run_until_finished(max_seconds=1e5)
+    assert job.finished
+    assert job.finish_time == cluster.sim.now
+
+
+def test_drain_with_nothing_outstanding_is_noop():
+    def program(job):
+        yield job.define(define_payload())
+        yield job.drain()
+        yield job.drain()
+
+    cluster = NimbusCluster(1, program, registry=combine_registry())
+    assert cluster.run_until_finished(max_seconds=1e5).finished
+
+
+def test_replay_mismatch_detected():
+    """A driver program that submits different blocks on replay is
+    non-deterministic; the driver must fail loudly, not corrupt state."""
+    from repro.nimbus import protocol as P
+
+    block = one_task_block()
+    other = one_task_block(block_id="other", oid=2)
+
+    def program(job):
+        yield job.define(define_payload())
+        yield job.run(block)
+
+    cluster = NimbusCluster(1, program, registry=combine_registry())
+    cluster.run_until_finished(max_seconds=1e5)
+    driver = cluster.driver
+    # simulate a recovery whose history doesn't match the program
+    driver._gen = (d for d in [("run", other, {})])
+    driver._replay = [("blk", {})]
+    driver._replay_cursor = 0
+    with pytest.raises(RuntimeError, match="non-deterministic"):
+        driver._advance(None)
+
+
+def test_iteration_log_timestamps_are_ordered():
+    block = one_task_block()
+
+    def program(job):
+        yield job.define(define_payload())
+        for _ in range(4):
+            yield job.run(block)
+
+    cluster = NimbusCluster(1, program, registry=combine_registry())
+    cluster.run_until_finished(max_seconds=1e5)
+    for _request, submit, complete in cluster.driver.iteration_log:
+        assert submit <= complete

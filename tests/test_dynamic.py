@@ -1,0 +1,200 @@
+"""Dynamic scheduling integration tests: edits, eviction, restore (§2.3,
+Figures 9 and 10) — with end-to-end value correctness after every change."""
+
+import pytest
+
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+
+from .helpers import (
+    combine_registry,
+    reference_execute,
+    simple_define,
+    worker_values,
+)
+
+NUM_PARTS = 4
+DATA = list(range(1, NUM_PARTS + 1))  # oids 1..4
+OUT = [oid + 10 for oid in DATA]  # oids 11..14
+ACC = 30
+
+
+def blocks():
+    seed_block = BlockSpec("seed", [StageSpec("seed", [
+        LogicalTask("seed", read=(), write=(oid,), param_slot="v")
+        for oid in DATA + [ACC]
+    ])])
+    iter_block = BlockSpec("iter", [
+        StageSpec("map", [
+            LogicalTask("combine", read=(DATA[i],), write=(OUT[i],))
+            for i in range(NUM_PARTS)
+        ]),
+        StageSpec("fold", [
+            LogicalTask("combine", read=tuple(OUT) + (ACC,), write=(ACC,)),
+        ]),
+    ], returns={"acc": ACC})
+    return seed_block, iter_block
+
+
+def reference(iterations):
+    seed_block, iter_block = blocks()
+    return reference_execute(
+        [(seed_block, {"v": 3})] + [(iter_block, {})] * iterations)
+
+
+def run_with_directives(iterations, directive_at=None, directive=None,
+                        num_workers=2):
+    """Run the iteration program, delivering a ManagerDirective to the
+    controller just before iteration ``directive_at``."""
+    seed_block, iter_block = blocks()
+    objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+    cluster_box = {}
+
+    def program(job):
+        yield job.define(simple_define(objects))
+        yield job.run(seed_block, {"v": 3})
+        for i in range(iterations):
+            if directive_at is not None and i == directive_at:
+                cluster_box["cluster"].controller.deliver(
+                    P.ManagerDirective(directive))
+            yield job.run(iter_block)
+
+    cluster = NimbusCluster(num_workers, program, registry=combine_registry(),
+                            use_templates=True)
+    cluster_box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e5)
+    return cluster
+
+
+def test_baseline_without_directives():
+    cluster = run_with_directives(8)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+
+
+def test_migration_via_edits_preserves_results():
+    def migrate(controller):
+        # move the first two map tasks to worker 1 (small change → edits;
+        # the tiny 5-task test template needs a generous edit threshold)
+        controller.edit_threshold = 0.5
+        result = controller.migrate_tasks("iter", [(0, 1), (2, 1)])
+        assert result == "edits"
+
+    cluster = run_with_directives(8, directive_at=5, directive=migrate)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    # relocatable inputs move with the tasks: 3 edit ops per migration
+    assert cluster.metrics.count("edits_applied") == 6
+    # the migrated tasks now run on worker 1
+    wts = cluster.controller.worker_templates[("iter", 0)]
+    assert wts.task_locations[0][0] == 1
+    assert wts.task_locations[2][0] == 1
+
+
+def test_migration_keeps_auto_validation():
+    """Edit-based migration preserves the template contract, so iterations
+    after the edit still auto-validate (Fig. 10's 'negligible overhead')."""
+    def migrate(controller):
+        controller.migrate_tasks("iter", [(0, 1)])
+
+    cluster = run_with_directives(10, directive_at=6, directive=migrate)
+    # 10 iterations: 3 install phases, 7 templated; all 7 auto-validate
+    # except the first templated one (full validation after central runs)
+    assert cluster.metrics.count("auto_validations") == 6
+    assert cluster.metrics.count("full_validations") == 1
+
+
+def test_large_migration_triggers_reinstall():
+    def migrate(controller):
+        moves = [(i, 1) for i in range(NUM_PARTS)]  # move everything
+        result = controller.migrate_tasks("iter", moves)
+        assert result == "reinstall"
+
+    cluster = run_with_directives(8, directive_at=5, directive=migrate)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    assert cluster.metrics.count("worker_template_regenerations") == 1
+    assert cluster.controller.current_version["iter"] == 1
+
+
+def test_eviction_moves_work_and_preserves_results():
+    state = {}
+
+    def evict(controller):
+        state["placement"] = controller.snapshot_placement()
+        state["versions"] = controller.snapshot_versions()
+        controller.evict_workers([1])
+
+    cluster = run_with_directives(8, directive_at=4, directive=evict,
+                                  num_workers=2)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    # all template entries now live on worker 0
+    template = cluster.controller.templates["iter"]
+    assert set(e.worker for e in template.entries) == {0}
+
+
+def test_evict_then_restore_reuses_cached_templates():
+    state = {}
+
+    def evict(controller):
+        state["placement"] = controller.snapshot_placement()
+        state["versions"] = controller.snapshot_versions()
+        controller.evict_workers([1])
+
+    def restore(controller):
+        controller.restore_workers([1], state["placement"],
+                                   state["versions"])
+
+    seed_block, iter_block = blocks()
+    objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+    box = {}
+
+    def program(job):
+        yield job.define(simple_define(objects))
+        yield job.run(seed_block, {"v": 3})
+        for i in range(12):
+            if i == 5:
+                box["cluster"].controller.deliver(P.ManagerDirective(evict))
+            if i == 9:
+                box["cluster"].controller.deliver(P.ManagerDirective(restore))
+            yield job.run(iter_block)
+
+    cluster = NimbusCluster(2, program, registry=combine_registry(),
+                            use_templates=True)
+    box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e5)
+    expected = reference(12)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    # after restore, the original version-0 templates are current again
+    assert cluster.controller.current_version["iter"] == 0
+    # eviction regenerated both installed blocks (seed + iter) once; the
+    # restore reused cached version-0 templates instead of regenerating
+    assert cluster.metrics.count("worker_template_regenerations") == 2
+    # worker halves for version 0 are still cached on both workers
+    assert cluster.workers[0].has_template("iter", 0)
+    assert cluster.workers[1].has_template("iter", 0)
+
+
+def test_cannot_evict_all_workers():
+    cluster = NimbusCluster(2, lambda job: iter(()),
+                            registry=combine_registry())
+    with pytest.raises(RuntimeError):
+        cluster.controller.evict_workers([0, 1])
+
+
+def test_edit_cost_charged_per_operation():
+    """Table 3: edit cost scales with the number of edit operations."""
+    def migrate_one(controller):
+        controller.migrate_tasks("iter", [(0, 1)])
+
+    one = run_with_directives(8, directive_at=5, directive=migrate_one)
+
+    def migrate_two(controller):
+        controller.edit_threshold = 0.5
+        controller.migrate_tasks("iter", [(0, 1), (2, 1)])
+
+    two = run_with_directives(8, directive_at=5, directive=migrate_two)
+    assert two.metrics.count("edits_applied") == 2 * one.metrics.count(
+        "edits_applied")

@@ -1,0 +1,197 @@
+"""Unit tests for edits and migration planning (§2.3, §4.3, Figure 6)."""
+
+import pytest
+
+from repro.core.controller_template import ControllerTemplate
+from repro.core.edits import (
+    EditOp,
+    MigrationError,
+    apply_edits,
+    plan_migration,
+    plan_migrations,
+)
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.core.worker_template import TemplateEntry, generate_worker_templates
+from repro.nimbus.commands import CommandKind
+
+SIZES = {oid: 32 for oid in range(1, 30)}
+
+
+def make_wts(assignment=(0, 0, 0)):
+    """Figure-6-like block: produce input, task t, consume t's result."""
+    block = BlockSpec("fig6", [
+        StageSpec("produce", [LogicalTask("p", read=(), write=(1,))]),
+        StageSpec("t", [LogicalTask("t", read=(1,), write=(2,))]),
+        StageSpec("consume", [LogicalTask("c", read=(2,), write=(3,))]),
+    ])
+    template = ControllerTemplate.from_block(block, list(assignment))
+    return generate_worker_templates(template, SIZES)
+
+
+class TestApplyEdits:
+    def entry(self, index):
+        return TemplateEntry(index=index, kind=CommandKind.TASK,
+                             function="x")
+
+    def test_replace(self):
+        entries = [self.entry(0), self.entry(1)]
+        new = TemplateEntry(index=0, kind=CommandKind.RECV, write=(9,))
+        apply_edits(entries, [EditOp(EditOp.REPLACE, 1, new)])
+        assert entries[1].kind == CommandKind.RECV
+        assert entries[1].index == 1
+
+    def test_append(self):
+        entries = [self.entry(0)]
+        apply_edits(entries, [EditOp(EditOp.APPEND, 1, self.entry(1))])
+        assert len(entries) == 2
+
+    def test_append_wrong_index_rejected(self):
+        entries = [self.entry(0)]
+        with pytest.raises(ValueError):
+            apply_edits(entries, [EditOp(EditOp.APPEND, 5, self.entry(5))])
+
+    def test_remove_tombstones(self):
+        entries = [self.entry(0), self.entry(1)]
+        apply_edits(entries, [EditOp(EditOp.REMOVE, 0)])
+        assert entries[0] is None and entries[1] is not None
+
+    def test_replace_tombstone_rejected(self):
+        entries = [self.entry(0)]
+        apply_edits(entries, [EditOp(EditOp.REMOVE, 0)])
+        with pytest.raises(ValueError):
+            apply_edits(entries, [EditOp(EditOp.REPLACE, 0, self.entry(0))])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            apply_edits([self.entry(0)], [EditOp("mutate", 0)])
+
+
+class TestPlanMigration:
+    def test_figure6_shape(self):
+        """Migrating t from worker 0 to worker 1 produces S1/R1/t'/S2/R2."""
+        wts = make_wts()
+        ops = plan_migration(wts, ct_index=1, dst=1, object_sizes=SIZES)
+        src_ops, dst_ops = ops[0], ops[1]
+        # source: replace t's slot with the result RECV, append input SEND
+        kinds_src = [(op.op, op.entry.kind if op.entry else None)
+                     for op in src_ops]
+        assert (EditOp.APPEND, CommandKind.SEND) in kinds_src
+        assert (EditOp.REPLACE, CommandKind.RECV) in kinds_src
+        # destination: input RECV, the task, result SEND
+        kinds_dst = [op.entry.kind for op in dst_ops]
+        assert kinds_dst == [CommandKind.RECV, CommandKind.TASK,
+                             CommandKind.SEND]
+
+    def test_result_recv_keeps_task_index(self):
+        """Fig. 6: the replacement RECV takes the task's index so dependents'
+        before sets are untouched."""
+        wts = make_wts()
+        old_worker, old_index = wts.task_locations[1]
+        consumer_before = wts.entries[0][2].before  # consumer names t's index
+        plan_migration(wts, 1, 1, SIZES)
+        replaced = wts.entries[0][old_index]
+        assert replaced.kind == CommandKind.RECV
+        assert replaced.write == (2,)
+        assert wts.entries[0][2].before == consumer_before
+
+    def test_controller_half_mutated_and_location_updated(self):
+        wts = make_wts()
+        plan_migration(wts, 1, 1, SIZES)
+        worker, index = wts.task_locations[1]
+        assert worker == 1
+        migrated = wts.entries[1][index]
+        assert migrated.kind == CommandKind.TASK
+        assert migrated.function == "t"
+
+    def test_contract_preserved(self):
+        """Preconditions and the directory delta survive the migration, so
+        auto-validation stays sound (the result ships home every run)."""
+        wts = make_wts()
+        before_preconds = {w: set(s) for w, s in wts.preconditions.items()}
+        before_counts = dict(wts.delta.write_counts)
+        plan_migration(wts, 1, 1, SIZES)
+        assert {w: set(s) for w, s in wts.preconditions.items()} == before_preconds
+        assert wts.delta.write_counts == before_counts
+        # the original worker still ends up holding the result
+        assert 0 in wts.delta.final_holders[2]
+        assert 1 in wts.delta.final_holders[2]
+
+    def test_migrate_to_same_worker_is_noop(self):
+        wts = make_wts()
+        assert plan_migration(wts, 1, 0, SIZES) == {}
+
+    def test_repeated_migration_follows_task(self):
+        wts = make_wts(assignment=(0, 0, 0))
+        plan_migration(wts, 1, 1, SIZES)
+        ops = plan_migration(wts, 1, 2, SIZES)
+        assert set(ops) == {1, 2}
+        assert wts.task_locations[1][0] == 2
+
+    def test_unknown_task_rejected(self):
+        wts = make_wts()
+        with pytest.raises(MigrationError):
+            plan_migration(wts, 99, 1, SIZES)
+
+    def test_multi_write_task_rejected(self):
+        block = BlockSpec("mw", [
+            StageSpec("s", [LogicalTask("t", read=(), write=(1, 2))]),
+        ])
+        template = ControllerTemplate.from_block(block, [0])
+        wts = generate_worker_templates(template, SIZES)
+        with pytest.raises(MigrationError):
+            plan_migration(wts, 0, 1, SIZES)
+
+    def test_destination_conflict_rejected(self):
+        # destination already touches the task's objects
+        wts = make_wts(assignment=(0, 0, 1))  # consumer of oid 2 on worker 1
+        with pytest.raises(MigrationError):
+            plan_migration(wts, 1, 1, SIZES)
+
+    def test_report_flag_transfers_to_result_recv(self):
+        block = BlockSpec("rep", [
+            StageSpec("p", [LogicalTask("p", read=(), write=(1,))]),
+            StageSpec("t", [LogicalTask("t", read=(1,), write=(2,))]),
+        ], returns={"out": 2})
+        template = ControllerTemplate.from_block(block, [0, 0])
+        wts = generate_worker_templates(template, SIZES)
+        old_worker, old_index = wts.task_locations[1]
+        plan_migration(wts, 1, 1, SIZES)
+        replaced = wts.entries[0][old_index]
+        assert replaced.report  # the recv now reports the returned value
+
+
+def test_plan_migrations_batches_and_counts_ops():
+    block = BlockSpec("batch", [
+        StageSpec("p", [LogicalTask("p", read=(), write=(1,)),
+                        LogicalTask("p", read=(), write=(2,))]),
+        StageSpec("t", [LogicalTask("t", read=(1,), write=(11,)),
+                        LogicalTask("t", read=(2,), write=(12,))]),
+    ])
+    template = ControllerTemplate.from_block(block, [0, 0, 0, 0])
+    wts = generate_worker_templates(template, SIZES)
+    edits, total, relocations = plan_migrations(wts, [(2, 1), (3, 2)], SIZES)
+    # inputs here are produced *in-block*, so they ship per iteration:
+    # each single-input/single-output migration is 5 ops (S1,R1,t',S2,R2)
+    assert total == 10
+    assert set(edits) == {0, 1, 2}
+    assert relocations == []
+
+
+def test_sole_reader_preblock_inputs_relocate():
+    """A task whose input is pre-block data it alone reads (a training
+    partition) relocates the input instead of re-shipping it every
+    instantiation: 3 edit ops (t', S2, R2) plus a reported relocation."""
+    block = BlockSpec("reloc", [
+        StageSpec("t", [LogicalTask("t", read=(1,), write=(11,)),
+                        LogicalTask("t", read=(2,), write=(12,))]),
+    ])
+    template = ControllerTemplate.from_block(block, [0, 0])
+    wts = generate_worker_templates(template, SIZES)
+    edits, total, relocations = plan_migrations(wts, [(0, 1)], SIZES)
+    assert total == 3
+    assert relocations == [(1, 1)]
+    # the precondition moved with the data
+    assert 1 not in wts.preconditions[0]
+    assert 1 in wts.preconditions[1]
+    # object 2 (the other task's input) stays put
+    assert 2 in wts.preconditions[0]

@@ -1,0 +1,125 @@
+"""Fault-tolerance integration tests: checkpointing and recovery (§4.4)."""
+
+import pytest
+
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+
+from .helpers import (
+    combine_registry,
+    reference_execute,
+    simple_define,
+    worker_values,
+)
+
+DATA = [1, 2, 3]
+OUT = [11, 12, 13]
+ACC = 30
+
+
+def blocks():
+    seed_block = BlockSpec("seed", [StageSpec("seed", [
+        LogicalTask("seed", read=(), write=(oid,), param_slot="v")
+        for oid in DATA + [ACC]
+    ])])
+    iter_block = BlockSpec("iter", [
+        StageSpec("map", [
+            LogicalTask("combine", read=(DATA[i],), write=(OUT[i],))
+            for i in range(len(DATA))
+        ]),
+        StageSpec("fold", [
+            LogicalTask("combine", read=tuple(OUT) + (ACC,), write=(ACC,)),
+        ]),
+    ], returns={"acc": ACC})
+    return seed_block, iter_block
+
+
+def build_cluster(iterations, fail_worker_after=None, num_workers=3,
+                  checkpoint_every=3):
+    seed_block, iter_block = blocks()
+    objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+    box = {}
+
+    def program(job):
+        yield job.define(simple_define(objects))
+        yield job.run(seed_block, {"v": 2})
+        for i in range(iterations):
+            if fail_worker_after is not None and i == fail_worker_after:
+                cluster = box["cluster"]
+                if not cluster.workers[num_workers - 1]._dead:
+                    cluster.workers[num_workers - 1].fail()
+            yield job.run(iter_block)
+
+    cluster = NimbusCluster(
+        num_workers, program, registry=combine_registry(),
+        use_templates=True, checkpoint_every=checkpoint_every,
+        heartbeat_timeout=0.5,
+    )
+    box["cluster"] = cluster
+    cluster.start_fault_tolerance(heartbeat_interval=0.1, check_interval=0.2)
+    return cluster
+
+
+def reference(iterations):
+    seed_block, iter_block = blocks()
+    return reference_execute(
+        [(seed_block, {"v": 2})] + [(iter_block, {})] * iterations)
+
+
+def test_checkpoints_commit_periodically():
+    cluster = build_cluster(iterations=8)
+    cluster.run_until_finished(max_seconds=1e4)
+    assert cluster.metrics.count("checkpoints_committed") >= 2
+    # checkpointed payloads really are in durable storage
+    checkpoint_id = cluster.controller._last_committed_checkpoint
+    assert any(cluster.storage.has(checkpoint_id, oid) for oid in DATA)
+
+
+def test_worker_failure_recovers_and_finishes():
+    cluster = build_cluster(iterations=10, fail_worker_after=6)
+    cluster.run_until_finished(max_seconds=1e4)
+    assert cluster.metrics.count("recoveries_completed") == 1
+    assert cluster.metrics.count("driver_replays") == 1
+    assert cluster.job.finished
+    # the dead worker is out of the live set
+    assert 2 not in cluster.controller.live_workers
+
+
+def test_recovered_run_produces_correct_results():
+    """After a failure mid-job, replay + re-execution must converge to the
+    exact values of an undisturbed run."""
+    cluster = build_cluster(iterations=10, fail_worker_after=6)
+    cluster.run_until_finished(max_seconds=1e4)
+    expected = reference(10)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    values = worker_values(cluster, OUT)
+    assert values == {oid: expected[oid] for oid in OUT}
+
+
+def test_failed_worker_objects_rehomed():
+    cluster = build_cluster(iterations=10, fail_worker_after=6)
+    cluster.run_until_finished(max_seconds=1e4)
+    directory = cluster.controller.directory
+    for oid in DATA + OUT + [ACC]:
+        holders = directory.holders_of_latest(oid)
+        assert holders, f"object {oid} lost"
+        assert all(h in cluster.controller.live_workers for h in holders)
+
+
+def test_failure_without_checkpoint_raises():
+    cluster = build_cluster(iterations=30, fail_worker_after=0,
+                            checkpoint_every=1000)
+    with pytest.raises(RuntimeError):
+        cluster.run_until_finished(max_seconds=1e4)
+
+
+def test_templates_survive_recovery():
+    """Controller templates persist; worker templates are regenerated for
+    the surviving workers and the job returns to the template fast path."""
+    cluster = build_cluster(iterations=14, fail_worker_after=6)
+    cluster.run_until_finished(max_seconds=1e4)
+    controller = cluster.controller
+    assert "iter" in controller.templates
+    assert controller.phase["iter"] == controller.PHASE_WT_INSTALLED
+    # post-recovery iterations ran through templates again
+    assert cluster.metrics.count("auto_validations") >= 2

@@ -1,0 +1,96 @@
+"""Regression tests pinning bugs found during development.
+
+Both were discovered by the hypothesis property suite
+(tests/test_properties.py) and are kept here as explicit, minimal
+reproducers with the story of what went wrong.
+"""
+
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+
+from .helpers import (
+    combine_registry,
+    reference_execute,
+    simple_define,
+    worker_values,
+)
+
+OIDS = list(range(1, 5))
+
+
+def run_migrating(block, move, iterations=6, num_workers=3):
+    seed_block = BlockSpec("seedblk", [StageSpec("seed", [
+        LogicalTask("seed", read=(), write=(oid,), param_slot=f"v{oid}")
+        for oid in OIDS
+    ])])
+    params = {f"v{oid}": 1 for oid in OIDS}
+    expected = reference_execute(
+        [(seed_block, params)] + [(block, {})] * iterations)
+    box = {}
+
+    def migrate(controller):
+        controller.edit_threshold = 1.0
+        controller.migrate_tasks(block.block_id, [move])
+
+    def program(job):
+        yield job.define(simple_define(
+            {oid: (f"o{oid}", 8) for oid in OIDS}))
+        yield job.run(seed_block, params)
+        for i in range(iterations):
+            if i == 4:
+                box["cluster"].controller.deliver(P.ManagerDirective(migrate))
+            yield job.run(block)
+
+    cluster = NimbusCluster(num_workers, program,
+                            registry=combine_registry(), use_templates=True)
+    box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e6)
+    return cluster, expected
+
+
+def test_bug1_migration_to_uninstalled_worker_does_not_double_apply():
+    """Bug 1: migrating a task to a worker that had no entries in the
+    template shipped the already-edited controller half at install time
+    AND re-applied the pending edits at instantiation, corrupting the
+    entry array ("append index != array length"). Fixed by dropping
+    pending edits for a worker when its half is freshly installed."""
+    block = BlockSpec("mig1", [StageSpec("s0", [
+        LogicalTask("combine", read=(1,), write=(2,)),
+    ])])
+    # worker 2 has no entries in this template until the migration
+    cluster, expected = run_migrating(block, move=(0, 2))
+    values = worker_values(cluster, OIDS)
+    assert values == {oid: expected.get(oid) for oid in OIDS}
+    wts_key = ("mig1", cluster.controller.current_version["mig1"])
+    wts = cluster.controller.worker_templates[wts_key]
+    assert wts.task_locations[0][0] == 2
+
+
+def test_bug2_migrating_read_modify_write_task_does_not_deadlock():
+    """Bug 2: migrating a task that reads and writes the same object put
+    the result RECV (low index) before the input SEND (appended) on the
+    source worker; the conflict tracker then ordered the send after the
+    recv while the recv's data transitively required the send — a cycle.
+    Fixed by two-pass batch resolution with forward before-references and
+    intra-batch tracker suppression."""
+    block = BlockSpec("mig2", [StageSpec("s0", [
+        LogicalTask("combine", read=(2,), write=(2,)),  # read-modify-write
+        LogicalTask("combine", read=(), write=(1,)),
+    ])])
+    cluster, expected = run_migrating(block, move=(0, 0))
+    values = worker_values(cluster, OIDS)
+    assert values == {oid: expected.get(oid) for oid in OIDS}
+
+
+def test_bug3_intermediate_result_not_marked_final_holder():
+    """Bug 3: when a later task overwrites the migrated task's result, the
+    destination's copied-back value is an *intermediate* version; marking
+    the destination a final holder let later readers patch stale data."""
+    block = BlockSpec("mig3", [StageSpec("s0", [
+        LogicalTask("combine", read=(1,), write=(2,)),   # migrated
+        LogicalTask("combine", read=(2,), write=(2,)),   # overwrites result
+    ])])
+    cluster, expected = run_migrating(block, move=(0, 2))
+    values = worker_values(cluster, OIDS)
+    assert values == {oid: expected.get(oid) for oid in OIDS}

@@ -1,0 +1,145 @@
+"""Unit tests for actors: serial control threads and charge accounting."""
+
+import pytest
+
+from repro.sim.actor import Actor, Message
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class Ping(Message):
+    def __init__(self, tag, cost=0.0):
+        self.tag = tag
+        self.cost = cost
+        self.size_bytes = 0
+
+
+class Recorder(Actor):
+    def __init__(self, sim, name="recorder"):
+        super().__init__(sim, name)
+        self.log = []
+
+    def handle(self, msg):
+        self.log.append((round(self.sim.now, 9), msg.tag))
+        self.charge(msg.cost)
+
+
+class Echo(Actor):
+    def __init__(self, sim, peer=None):
+        super().__init__(sim, "echo")
+        self.peer = peer
+
+    def handle(self, msg):
+        self.charge(0.001)
+        self.send(self.peer, Ping(f"echo-{msg.tag}"))
+
+
+def make_pair(latency=0.0):
+    sim = Simulator()
+    net = Network(sim, latency=latency, bandwidth=1e12)
+    a = net.attach(Recorder(sim, "a"))
+    b = net.attach(Recorder(sim, "b"))
+    return sim, net, a, b
+
+
+def test_messages_handled_serially_with_charges():
+    sim, net, a, _b = make_pair()
+    for i in range(3):
+        a.deliver(Ping(i, cost=0.1))
+    sim.run()
+    times = [t for t, _ in a.log]
+    # each handler starts when the previous handler's charge elapses
+    assert times == pytest.approx([0.0, 0.1, 0.2])
+    assert a.busy_time == pytest.approx(0.3)
+
+
+def test_charge_accumulates_within_handler():
+    sim = Simulator()
+
+    class Multi(Actor):
+        def handle(self, msg):
+            self.charge(0.05)
+            self.charge(0.07)
+
+    actor = Multi(sim, "multi")
+    actor.deliver(Ping(0))
+    sim.run()
+    assert actor.busy_time == pytest.approx(0.12)
+
+
+def test_negative_charge_rejected():
+    sim = Simulator()
+
+    class Bad(Actor):
+        def handle(self, msg):
+            self.charge(-1.0)
+
+    actor = Bad(sim, "bad")
+    actor.deliver(Ping(0))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_sends_depart_after_accumulated_charge():
+    sim = Simulator()
+    net = Network(sim, latency=0.0, bandwidth=1e12)
+    recorder = net.attach(Recorder(sim))
+    echo = net.attach(Echo(sim, peer=recorder))
+    echo.deliver(Ping("x"))
+    sim.run()
+    # echo charges 1ms before sending; zero network latency
+    assert recorder.log[0][0] == pytest.approx(0.001, abs=1e-9)
+
+
+def test_call_later_runs_on_control_thread():
+    sim = Simulator()
+    seen = []
+
+    class Timed(Actor):
+        def handle(self, msg):
+            pass
+
+        def tick(self, tag):
+            seen.append((self.sim.now, tag))
+
+    actor = Timed(sim, "timed")
+    actor.call_later(0.5, actor.tick, "t")
+    sim.run()
+    assert seen == [(pytest.approx(0.5), "t")]
+
+
+def test_call_later_waits_behind_busy_control_thread():
+    sim = Simulator()
+    seen = []
+
+    class Busy(Actor):
+        def handle(self, msg):
+            self.charge(1.0)
+
+        def tick(self):
+            seen.append(self.sim.now)
+
+    actor = Busy(sim, "busy")
+    actor.deliver(Ping(0))
+    actor.call_later(0.1, actor.tick)
+    sim.run()
+    # the timer fires at 0.1 but the control thread is busy until 1.0
+    assert seen == [pytest.approx(1.0)]
+
+
+def test_send_requires_network():
+    sim = Simulator()
+    lonely = Recorder(sim, "lonely")
+    with pytest.raises(RuntimeError):
+        lonely.send(lonely, Ping(0))
+
+
+def test_control_queue_length():
+    sim, _net, a, _b = make_pair()
+    a.deliver(Ping(0, cost=1.0))
+    a.deliver(Ping(1))
+    a.deliver(Ping(2))
+    sim.run(until=0.5)
+    assert a.control_queue_length == 2
+    sim.run()
+    assert a.control_queue_length == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.3, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.2, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(0.1, seen.append, "cancelled")
+    sim.schedule(0.2, seen.append, "kept")
+    event.cancel()
+    sim.run()
+    assert seen == ["kept"]
+    assert sim.events_run == 1
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(5.0, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_on_empty_heap():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+    sim.run()
+    assert len(seen) == 10
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            sim.schedule(0.1, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.now == pytest.approx(0.4)
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.5, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == pytest.approx(0.5)
+
+
+def test_determinism_across_identical_runs():
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def tick(n):
+            log.append((round(sim.now, 9), n))
+            if n < 20:
+                sim.schedule(0.01 * ((n * 7) % 5 + 1), tick, n + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

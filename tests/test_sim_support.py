@@ -1,0 +1,79 @@
+"""Unit tests for RNG substreams and metrics collection."""
+
+import pytest
+
+from repro.sim.metrics import Metrics
+from repro.sim.rng import SeedSequence
+
+
+class TestSeedSequence:
+    def test_same_name_same_stream(self):
+        seeds = SeedSequence(42)
+        first = [seeds.stream("a").random() for _ in range(3)]
+        other = SeedSequence(42)
+        assert [other.stream("a").random() for _ in range(3)] == first
+
+    def test_streams_are_independent_of_request_order(self):
+        forward = SeedSequence(7)
+        fa = forward.stream("a").random()
+        fb = forward.stream("b").random()
+        backward = SeedSequence(7)
+        bb = backward.stream("b").random()
+        ba = backward.stream("a").random()
+        assert (fa, fb) == (ba, bb)
+
+    def test_different_names_differ(self):
+        seeds = SeedSequence(0)
+        assert seeds.stream("x").random() != seeds.stream("y").random()
+
+    def test_different_roots_differ(self):
+        assert (SeedSequence(1).stream("a").random()
+                != SeedSequence(2).stream("a").random())
+
+    def test_stream_is_cached(self):
+        seeds = SeedSequence(0)
+        assert seeds.stream("a") is seeds.stream("a")
+
+
+class TestMetrics:
+    def test_counters(self):
+        metrics = Metrics()
+        metrics.incr("tasks")
+        metrics.incr("tasks", 4)
+        assert metrics.count("tasks") == 5
+        assert metrics.count("missing") == 0
+
+    def test_series(self):
+        metrics = Metrics()
+        metrics.sample("queue", 0.0, 1.0)
+        metrics.sample("queue", 1.0, 3.0)
+        assert metrics.series["queue"] == [(0.0, 1.0), (1.0, 3.0)]
+
+    def test_intervals_and_durations(self):
+        metrics = Metrics()
+        metrics.begin("block", 1.0, key=1, block_id="b")
+        metrics.begin("block", 2.0, key=2, block_id="b")
+        metrics.end("block", 4.0, key=1, result="x")
+        metrics.end("block", 5.0, key=2)
+        assert metrics.durations("block") == [3.0, 3.0]
+        first = metrics.intervals["block"][0]
+        assert first.labels == {"block_id": "b", "result": "x"}
+
+    def test_end_without_begin_raises(self):
+        metrics = Metrics()
+        with pytest.raises(KeyError):
+            metrics.end("nope", 1.0)
+
+    def test_open_interval_duration_raises(self):
+        metrics = Metrics()
+        interval = metrics.begin("open", 0.0)
+        with pytest.raises(ValueError):
+            _ = interval.duration
+
+    def test_label_values(self):
+        metrics = Metrics()
+        metrics.begin("i", 0.0, key=1)
+        metrics.end("i", 1.0, key=1, n=10)
+        metrics.begin("i", 1.0, key=2)
+        metrics.end("i", 2.0, key=2, n=20)
+        assert metrics.label_values("i", "n") == [10, 20]

@@ -1,0 +1,88 @@
+"""Straggler scenarios: slow workers, and mitigation via template edits.
+
+The paper's motivation for fine-grained scheduling: a centralized (or
+template-cached-but-editable) control plane can migrate work *off* a slow
+worker; a static data flow cannot (without a full reinstall). These tests
+inject a straggler via per-worker duration scaling and verify both the
+slowdown and the edit-based remedy.
+"""
+
+import pytest
+
+from repro.apps import LRApp, LRSpec
+from repro.analysis import mean_iteration_time
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+
+
+def lr_app(num_workers=4):
+    return LRApp(LRSpec(num_workers=num_workers, data_bytes=4e9,
+                        partitions_per_worker=4, iterations=12))
+
+
+def run(app, straggler_scales=None, migrate_at=None, moves=None):
+    box = {}
+
+    def directive(controller):
+        controller.edit_threshold = 1.0
+        controller.migrate_tasks("lr.iteration", moves)
+
+    def program(job):
+        yield job.define(app.variables.definitions)
+        yield job.run(app.init_block)
+        controller = box["cluster"].controller
+        for i in range(app.spec.iterations):
+            if migrate_at is not None and i == migrate_at:
+                controller.deliver(P.ManagerDirective(directive))
+            yield job.run(app.iteration_block, {"step": 0.5})
+
+    cluster = NimbusCluster(app.spec.num_workers, program,
+                            registry=app.registry,
+                            straggler_scales=straggler_scales or {})
+    box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e6)
+    return cluster
+
+
+def test_straggler_slows_the_whole_iteration():
+    fast = run(lr_app())
+    slow = run(lr_app(), straggler_scales={3: 3.0})
+    t_fast = mean_iteration_time(fast.metrics, "lr.iteration", skip=6)
+    t_slow = mean_iteration_time(slow.metrics, "lr.iteration", skip=6)
+    # one 3x-slow worker gates every reduction: iterations ~3x slower
+    assert t_slow > 2.0 * t_fast
+
+
+def test_migrating_off_the_straggler_recovers_time():
+    app = lr_app()
+    # move half of worker 3's gradient tasks (ct indices 12..15) elsewhere
+    moves = [(12, 0), (13, 1)]
+    mitigated = run(lr_app(), straggler_scales={3: 3.0},
+                    migrate_at=6, moves=moves)
+    unmitigated = run(lr_app(), straggler_scales={3: 3.0})
+
+    def tail_time(cluster):
+        ends = sorted(iv.end for iv in cluster.metrics.intervals["driver_block"]
+                      if iv.labels["block_id"] == "lr.iteration")
+        return ends[-1] - ends[-4]  # last 3 iterations
+
+    assert tail_time(mitigated) < tail_time(unmitigated)
+    assert mitigated.metrics.count("edits_applied") > 0
+
+
+def test_straggler_does_not_change_results():
+    import numpy as np
+    spec = LRSpec(num_workers=3, data_bytes=3e9, partitions_per_worker=2,
+                  dim=8, iterations=6, real_compute=True,
+                  rows_per_partition=80)
+    app_a, app_b = LRApp(spec), LRApp(spec)
+    clean = NimbusCluster(3, app_a.program(blocking=True),
+                          registry=app_a.registry)
+    clean.run_until_finished(max_seconds=1e6)
+    slow = NimbusCluster(3, app_b.program(blocking=True),
+                         registry=app_b.registry,
+                         straggler_scales={1: 5.0})
+    slow.run_until_finished(max_seconds=1e6)
+    assert np.allclose(clean.workers[0].store.get(app_a.coeff),
+                       slow.workers[0].store.get(app_b.coeff))
+    assert slow.sim.now > clean.sim.now
