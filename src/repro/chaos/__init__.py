@@ -1,0 +1,25 @@
+"""Deterministic chaos injection for the simulated control plane.
+
+The subsystem has two pieces:
+
+* :class:`FaultPlan` — a seeded, reproducible fault schedule: probabilistic
+  drop/delay/duplicate/reorder rules matched by (src, dst, message-type),
+  plus scripted worker crashes and transient partitions;
+* :class:`ChaosNetwork` — a :class:`~repro.sim.network.Network` subclass
+  that executes the plan on every transmission.
+
+Stock plans live in :data:`PROFILES` (``light``, ``lossy``, ``hostile``)
+and are exposed on the CLI via ``--chaos-profile``/``--chaos-seed``.
+"""
+
+from .plan import FaultDecision, FaultPlan, FaultRule, PROFILES
+from .network import ChaosNetwork, REORDER_FLUSH
+
+__all__ = [
+    "ChaosNetwork",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "PROFILES",
+    "REORDER_FLUSH",
+]

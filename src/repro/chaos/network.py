@@ -1,0 +1,108 @@
+"""A network that injects faults according to a :class:`FaultPlan`.
+
+:class:`ChaosNetwork` subclasses the simulator's :class:`Network` and
+applies the plan's probabilistic rules to every transmission:
+
+* **drop** — the message vanishes (``chaos.drops``);
+* **delay** — extra latency is added on top of the link model
+  (``chaos.delays``);
+* **duplicate** — the message is delivered twice, the copy lagging
+  (``chaos.duplicates``);
+* **reorder** — the message is held and released onto the link *after*
+  the pair's next transmission — or after a short flush timeout if the
+  pair goes quiet — so it genuinely arrives out of order
+  (``chaos.reorders``).
+
+All randomness comes from one substream of the plan's seed, and every
+matching rule consumes exactly one draw per message, so a given
+(plan, seed, workload) triple produces a byte-identical fault schedule —
+recorded in :attr:`ChaosNetwork.fault_log` — on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sim.actor import Actor, Message
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.rng import SeedSequence
+from .plan import FaultDecision, FaultPlan
+
+#: how long a reordered message may be held if its pair goes quiet
+REORDER_FLUSH = 0.01
+
+
+class ChaosNetwork(Network):
+    """Full-mesh network with plan-driven fault injection."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.plan = plan
+        self.rng = SeedSequence(plan.seed).stream("chaos.network")
+        #: (time, fault kind, src name, dst name, message type) per fault
+        self.fault_log: List[Tuple[float, str, str, str, str]] = []
+        # held (msg, decision) per directed pair, awaiting reorder release
+        self._held: Dict[Tuple[str, str], List[Tuple[Message, FaultDecision]]] = {}
+
+    def transmit(self, src: Actor, dst: Actor, msg: Message, depart: float) -> None:
+        if src.name in self.partitioned or dst.name in self.partitioned:
+            self._drop_partitioned(src, dst, msg)
+            return
+        decision = self.plan.decide(self.rng, src.name, dst.name, msg)
+        if decision is None:
+            self._deliver(src, dst, msg, depart)
+            self._release_held(src, dst, depart)
+            return
+        if decision.drop:
+            self._log("drop", src, dst, msg)
+            return
+        if decision.reorder:
+            self._log("reorder", src, dst, msg)
+            self._held.setdefault((src.name, dst.name), []).append(
+                (msg, decision))
+            # safety valve: if the pair goes quiet the hold still drains
+            self.sim.schedule(REORDER_FLUSH, self._flush_pair,
+                              src.name, dst.name)
+            return
+        self._inject(src, dst, msg, depart, decision)
+        self._release_held(src, dst, depart)
+
+    # ------------------------------------------------------------------
+    def _inject(self, src: Actor, dst: Actor, msg: Message, depart: float,
+                decision: FaultDecision) -> None:
+        """Deliver one message with its (non-drop) faults applied."""
+        if decision.extra_delay > 0.0:
+            self._log("delay", src, dst, msg)
+        self._deliver(src, dst, msg, depart, extra_delay=decision.extra_delay)
+        if decision.duplicate:
+            self._log("duplicate", src, dst, msg)
+            self._deliver(src, dst, msg, depart,
+                          extra_delay=decision.extra_delay + decision.dup_lag)
+
+    def _release_held(self, src: Actor, dst: Actor, depart: float) -> None:
+        """Put held messages on the link *behind* the one just delivered."""
+        held = self._held.pop((src.name, dst.name), None)
+        if not held:
+            return
+        for msg, decision in held:
+            self._inject(src, dst, msg, depart, decision)
+
+    def _flush_pair(self, src_name: str, dst_name: str) -> None:
+        held = self._held.pop((src_name, dst_name), None)
+        if not held:
+            return
+        src = self.actors[src_name]
+        dst = self.actors[dst_name]
+        if src_name in self.partitioned or dst_name in self.partitioned:
+            for msg, _decision in held:
+                self._drop_partitioned(src, dst, msg)
+            return
+        for msg, decision in held:
+            self._inject(src, dst, msg, self.sim.now, decision)
+
+    def _log(self, kind: str, src: Actor, dst: Actor, msg: Message) -> None:
+        self.fault_log.append(
+            (self.sim.now, kind, src.name, dst.name, type(msg).__name__))
+        if self.metrics is not None:
+            self.metrics.incr(f"chaos.{kind}s")

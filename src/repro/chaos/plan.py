@@ -1,0 +1,218 @@
+"""Fault plans: seeded, reproducible schedules of injected failures.
+
+A :class:`FaultPlan` is pure data plus a root seed. It has two halves:
+
+* **probabilistic rules** (:class:`FaultRule`) — per-message drop / delay /
+  duplicate / reorder faults, matched by (src, dst, message-type)
+  predicates and decided by a dedicated RNG substream, so the same plan
+  and seed produce the byte-identical fault schedule on every run;
+* **scripted events** — worker crashes and transient partitions pinned to
+  absolute simulation times, for "the worker died mid-install" scenarios
+  that probabilities cannot target precisely.
+
+Plans are applied by :class:`~repro.chaos.network.ChaosNetwork`, which
+wraps the simulator's network; the protocol layer
+(:mod:`repro.nimbus.protocol`) is what must survive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class FaultRule:
+    """One probabilistic fault matched against each transmitted message.
+
+    ``src``/``dst`` are fnmatch-style globs over actor names
+    (``worker-*``, ``controller``, ``driver``); ``message_types`` is an
+    optional set of message class names. ``probability`` is evaluated per
+    matching message on the plan's dedicated RNG substream.
+    """
+
+    kind: str  # "drop" | "delay" | "duplicate" | "reorder"
+    probability: float
+    src: str = "*"
+    dst: str = "*"
+    message_types: Optional[Tuple[str, ...]] = None
+    min_delay: float = 0.0  # extra latency bounds (delay/duplicate lag)
+    max_delay: float = 0.0
+
+    def matches(self, src_name: str, dst_name: str, type_name: str) -> bool:
+        if self.message_types is not None and type_name not in self.message_types:
+            return False
+        return (fnmatchcase(src_name, self.src)
+                and fnmatchcase(dst_name, self.dst))
+
+
+@dataclass
+class FaultDecision:
+    """The chaos verdict for one message transmission."""
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    duplicate: bool = False
+    dup_lag: float = 0.0
+    reorder: bool = False
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of network faults and crashes.
+
+    Builder methods chain::
+
+        plan = (FaultPlan(seed=7)
+                .drop(0.05, dst="worker-*")
+                .delay(0.10, max_delay=2e-4)
+                .crash_worker(at=0.5, worker=3))
+
+    The ``seed`` feeds the chaos RNG substream only — application
+    randomness draws from the cluster's own :class:`SeedSequence`, so
+    turning chaos on or off never perturbs workload behavior.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rules: List[FaultRule] = []
+        #: scripted (time, kind, args) events, e.g. ("crash", worker_id)
+        self.scripted: List[Tuple[float, str, tuple]] = []
+
+    # -- probabilistic rules -------------------------------------------
+    def rule(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def drop(self, probability: float, src: str = "*", dst: str = "*",
+             message_types: Optional[Tuple[str, ...]] = None) -> "FaultPlan":
+        """Drop matching messages with ``probability``."""
+        return self.rule(FaultRule("drop", probability, src, dst, message_types))
+
+    def delay(self, probability: float, min_delay: float = 0.0,
+              max_delay: float = 2e-4, src: str = "*", dst: str = "*",
+              message_types: Optional[Tuple[str, ...]] = None) -> "FaultPlan":
+        """Add uniform extra latency in [min_delay, max_delay] seconds."""
+        return self.rule(FaultRule("delay", probability, src, dst,
+                                   message_types, min_delay, max_delay))
+
+    def duplicate(self, probability: float, lag: float = 1e-4,
+                  src: str = "*", dst: str = "*",
+                  message_types: Optional[Tuple[str, ...]] = None) -> "FaultPlan":
+        """Deliver matching messages twice, the copy lagging by ``lag``."""
+        return self.rule(FaultRule("duplicate", probability, src, dst,
+                                   message_types, max_delay=lag))
+
+    def reorder(self, probability: float, src: str = "*", dst: str = "*",
+                message_types: Optional[Tuple[str, ...]] = None) -> "FaultPlan":
+        """Hold a matching message and release it after the pair's next send."""
+        return self.rule(FaultRule("reorder", probability, src, dst,
+                                   message_types))
+
+    # -- scripted events -----------------------------------------------
+    def crash_worker(self, at: float, worker: int) -> "FaultPlan":
+        """Permanently kill ``worker`` at simulation time ``at``."""
+        self.scripted.append((at, "crash", (worker,)))
+        return self
+
+    def pause_actor(self, at: float, actor: str, duration: float) -> "FaultPlan":
+        """Transient partition: cut ``actor`` off for ``duration`` seconds.
+
+        This is the simulation's "crash and restart" — the process keeps
+        its state but is unreachable for a while, exactly the window where
+        unacked control messages must be retransmitted.
+        """
+        self.scripted.append((at, "pause", (actor, duration)))
+        return self
+
+    def apply_scripted(self, sim, network, workers: Dict[int, object]) -> None:
+        """Schedule the scripted events onto a wired cluster."""
+        for at, kind, args in sorted(self.scripted):
+            if kind == "crash":
+                (wid,) = args
+                sim.schedule_at(at, workers[wid].fail)
+            elif kind == "pause":
+                name, duration = args
+                sim.schedule_at(at, network.partition, name)
+                sim.schedule_at(at + duration, network.heal, name)
+            else:  # pragma: no cover - guarded by the builder methods
+                raise ValueError(f"unknown scripted fault kind {kind!r}")
+
+    # -- decision ------------------------------------------------------
+    def decide(self, rng, src_name: str, dst_name: str,
+               msg) -> Optional[FaultDecision]:
+        """Evaluate every rule against one transmission, in rule order.
+
+        Each matching rule consumes exactly one RNG draw whether or not it
+        fires, so the fault schedule depends only on the message sequence,
+        never on which faults happened to fire earlier.
+        """
+        if not self.rules:
+            return None
+        type_name = type(msg).__name__
+        decision = FaultDecision()
+        hit = False
+        for rule in self.rules:
+            if not rule.matches(src_name, dst_name, type_name):
+                continue
+            draw = rng.random()
+            if draw >= rule.probability:
+                continue
+            hit = True
+            if rule.kind == "drop":
+                decision.drop = True
+            elif rule.kind == "delay":
+                decision.extra_delay += rng.uniform(rule.min_delay,
+                                                    rule.max_delay)
+            elif rule.kind == "duplicate":
+                decision.duplicate = True
+                decision.dup_lag = rule.max_delay
+            elif rule.kind == "reorder":
+                decision.reorder = True
+        return decision if hit else None
+
+    # -- profiles ------------------------------------------------------
+    @classmethod
+    def from_profile(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """Build one of the named stock plans (see :data:`PROFILES`)."""
+        try:
+            builder = PROFILES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown chaos profile {name!r}; "
+                f"choose from {sorted(PROFILES)}"
+            ) from None
+        return builder(seed)
+
+
+def _profile_light(seed: int) -> FaultPlan:
+    """Mild background loss: 1% drops, occasional delay."""
+    return (FaultPlan(seed)
+            .drop(0.01)
+            .delay(0.05, max_delay=2e-4))
+
+
+def _profile_lossy(seed: int) -> FaultPlan:
+    """The acceptance profile: 5% drops, 2x latency jitter, dups, reorders."""
+    return (FaultPlan(seed)
+            .drop(0.05)
+            .delay(0.10, max_delay=2e-4)
+            .duplicate(0.02)
+            .reorder(0.03))
+
+
+def _profile_hostile(seed: int) -> FaultPlan:
+    """Heavy chaos: every fault kind at elevated rates."""
+    return (FaultPlan(seed)
+            .drop(0.10)
+            .delay(0.20, max_delay=5e-4)
+            .duplicate(0.05)
+            .reorder(0.08))
+
+
+#: name -> builder(seed); the CLI exposes these via ``--chaos-profile``
+PROFILES = {
+    "light": _profile_light,
+    "lossy": _profile_lossy,
+    "hostile": _profile_hostile,
+}

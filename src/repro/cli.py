@@ -32,6 +32,7 @@ from .apps import (
     WaterSpec,
 )
 from .baselines import MPICluster, NaiadCluster, SparkCluster
+from .chaos import PROFILES, FaultPlan
 from .nimbus import NimbusCluster
 
 SYSTEMS = {
@@ -48,12 +49,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--system", choices=sorted(SYSTEMS), default="nimbus",
                         help="control plane to run under")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chaos-profile", choices=sorted(PROFILES),
+                        default=None, metavar="PROFILE",
+                        help="inject network faults from a stock plan "
+                             f"({', '.join(sorted(PROFILES))}); nimbus only")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the chaos fault schedule "
+                             "(same seed => identical faults)")
 
 
 def _cluster_kwargs(args) -> dict:
     kwargs = {"seed": args.seed}
     if args.system == "nimbus" and getattr(args, "no_templates", False):
         kwargs["use_templates"] = False
+    if getattr(args, "chaos_profile", None):
+        if args.system != "nimbus":
+            raise SystemExit(
+                "--chaos-profile requires --system nimbus (the baselines "
+                "do not model the hardened control-plane protocol)"
+            )
+        kwargs["chaos_plan"] = FaultPlan.from_profile(
+            args.chaos_profile, seed=args.chaos_seed)
     return kwargs
 
 
@@ -73,6 +89,10 @@ def _summary(cluster, block_id: str, skip: int) -> None:
             "controller_templates_installed", "template_instantiations",
             "auto_validations", "full_validations",
             "patches_computed", "patch_cache_hits", "edits_applied",
+            "chaos.drops", "chaos.delays", "chaos.duplicates",
+            "chaos.reorders", "protocol.retries", "protocol.dup_discards",
+            "protocol.reorder_holds", "protocol.stale_discards",
+            "net.partition_drops",
         ) if metrics.count(name)
     ]))
     print(f"virtual time: {cluster.sim.now:.4f} s; "

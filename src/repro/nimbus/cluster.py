@@ -38,11 +38,21 @@ class NimbusCluster:
         checkpoint_every: Optional[int] = None,
         heartbeat_timeout: float = 3.0,
         straggler_scales: Optional[Dict[int, float]] = None,
+        chaos_plan=None,
     ):
         self.sim = Simulator()
         self.metrics = Metrics()
         self.seeds = SeedSequence(seed)
-        self.network = Network(self.sim, latency=latency, bandwidth=bandwidth)
+        self.chaos_plan = chaos_plan
+        if chaos_plan is not None:
+            from ..chaos import ChaosNetwork
+            self.network: Network = ChaosNetwork(
+                self.sim, chaos_plan, latency=latency, bandwidth=bandwidth,
+                metrics=self.metrics,
+            )
+        else:
+            self.network = Network(self.sim, latency=latency,
+                                   bandwidth=bandwidth, metrics=self.metrics)
         self.costs = costs or PAPER_COSTS
         self.registry = registry or FunctionRegistry()
         self.storage = DurableStorage()
@@ -75,6 +85,9 @@ class NimbusCluster:
         )
         self.network.attach(self.driver)
         self.controller.driver = self.driver
+
+        if chaos_plan is not None:
+            chaos_plan.apply_scripted(self.sim, self.network, self.workers)
 
     @property
     def job(self) -> Job:

@@ -68,8 +68,17 @@ class _BlockRun:
         self.open = False
 
 
-class Controller(Actor):
-    """Centralized Nimbus controller with execution-template support."""
+class Controller(P.ReliableEndpoint, Actor):
+    """Centralized Nimbus controller with execution-template support.
+
+    All controller↔worker and controller↔driver traffic runs over the
+    reliable channels of :class:`~repro.nimbus.protocol.ReliableEndpoint`,
+    so the control plane survives dropped, delayed, duplicated, and
+    reordered messages (chaos injection). Application-level idempotence
+    guards back the transport up: instantiation requests are deduplicated
+    by request id so a redelivered :class:`~repro.nimbus.protocol.
+    InstantiateBlock` can never apply a template's directory delta twice.
+    """
 
     # template phases per block
     PHASE_NONE = 0
@@ -90,6 +99,7 @@ class Controller(Actor):
         super().__init__(sim, "controller")
         self.costs = costs
         self.metrics = metrics
+        self._init_reliable(metrics)
         self.slots_per_worker = slots_per_worker
         self.checkpoint_every = checkpoint_every
         self.heartbeat_timeout = heartbeat_timeout
@@ -130,6 +140,10 @@ class Controller(Actor):
         # central-path copy tracking: oid -> {worker: providing cid}
         self._holder_cids: Dict[int, Dict[int, int]] = {}
 
+        #: driver request ids already acted on (idempotent receive: a
+        #: redelivered submit/instantiate must not run the block twice)
+        self._seen_requests: Set[int] = set()
+
         # checkpoint / recovery state
         self._checkpoint_acks: Set[int] = set()
         self._halt_acks: Set[int] = set()
@@ -148,6 +162,18 @@ class Controller(Actor):
         self.workers = dict(workers)
         self.live_workers = set(workers)
         self.placement = PartitionPlacement(sorted(workers))
+
+    def _rel_should_retry(self, dst) -> bool:
+        """Stop retransmitting to workers declared failed by recovery.
+
+        Evicted workers stay retryable — eviction revokes scheduling, not
+        network reachability — so their channels never develop gaps and
+        :meth:`restore_workers` can resume them seamlessly.
+        """
+        wid = getattr(dst, "worker_id", None)
+        if wid is not None and wid in self._failed_workers:
+            return False
+        return super()._rel_should_retry(dst)
 
     def start_failure_detector(self, check_interval: float = 1.0) -> None:
         self._hb_check_interval = check_interval
@@ -196,8 +222,8 @@ class Controller(Actor):
             per_worker.setdefault(worker, []).append(oid)
         self.charge(self.costs.message_handling * max(1, len(msg.objects) // 64))
         for worker, oids in per_worker.items():
-            self.send(self.workers[worker], P.CreateObjects(oids))
-        self.send(self.driver, P.ObjectsReady())
+            self.send_reliable(self.workers[worker], P.CreateObjects(oids))
+        self.send_reliable(self.driver, P.ObjectsReady())
 
     def _on_undefine_objects(self, msg: P.UndefineObjects) -> None:
         """Destroy logical objects everywhere (data commands, §3.4).
@@ -219,8 +245,8 @@ class Controller(Actor):
             self._holder_cids.pop(oid, None)
         for worker, oids in per_worker.items():
             if worker in self.live_workers:
-                self.send(self.workers[worker], P.DestroyObjects(oids))
-        self.send(self.driver, P.ObjectsReady())
+                self.send_reliable(self.workers[worker], P.DestroyObjects(oids))
+        self.send_reliable(self.driver, P.ObjectsReady())
 
     def object_sizes(self) -> Dict[int, int]:
         return {obj.oid: obj.size_bytes for obj in self.directory.objects()}
@@ -242,7 +268,7 @@ class Controller(Actor):
 
     def _dispatch(self, run: _BlockRun, cmd: Command, report: bool = False) -> None:
         run.outstanding += 1
-        self.send(self.workers[cmd.worker],
+        self.send_reliable(self.workers[cmd.worker],
                   P.DispatchCommand(cmd, run.seq, report))
 
     def _schedule_task_centrally(
@@ -335,8 +361,27 @@ class Controller(Actor):
     # ------------------------------------------------------------------
     # Driver block submission (central / capture path)
     # ------------------------------------------------------------------
+    def _duplicate_request(self, request_id: int) -> bool:
+        """Idempotent receive: has this driver request already run?
+
+        The reliable channel already deduplicates redeliveries; this guard
+        protects the object-version map even if a duplicate slips past the
+        transport (e.g. a driver resubmitting after a lost completion).
+        Request id 0 marks directly injected traffic (tests, benchmarks)
+        and is never deduplicated.
+        """
+        if not request_id:
+            return False
+        if request_id in self._seen_requests:
+            self.metrics.incr("protocol.stale_discards")
+            return True
+        self._seen_requests.add(request_id)
+        return False
+
     def _on_submit_block(self, msg: P.SubmitBlock) -> None:
         self.charge(self.costs.message_handling)
+        if self._duplicate_request(msg.request_id):
+            return
         self._run_block_centrally(
             msg.block, msg.params,
             capture=msg.template_start,
@@ -349,6 +394,8 @@ class Controller(Actor):
     # ------------------------------------------------------------------
     def _on_instantiate_block(self, msg: P.InstantiateBlock) -> None:
         self.charge(self.costs.message_handling)
+        if self._duplicate_request(msg.request_id):
+            return
         block_id = msg.block_id
         template = self.templates[block_id]
         phase = self.phase[block_id]
@@ -421,7 +468,7 @@ class Controller(Actor):
             reports = [
                 e.index for e in entries if e is not None and e.report
             ]
-            self.send(self.workers[worker], P.InstallWorkerTemplate(
+            self.send_reliable(self.workers[worker], P.InstallWorkerTemplate(
                 wts.block_id, wts.version, entries, reports,
             ))
             wts.installed_on.add(worker)
@@ -455,7 +502,7 @@ class Controller(Actor):
             )
             msg.size_bytes = (P.TASK_ID_BYTES * len(entries)
                               + P.PARAM_BLOCK_BYTES)
-            self.send(self.workers[worker], msg)
+            self.send_reliable(self.workers[worker], msg)
             run.expected_workers.add(worker)
         run.outstanding = len(run.expected_workers)
         for name, oid in wts.returns.items():
@@ -480,7 +527,7 @@ class Controller(Actor):
             patch = cached
             for worker in patch.workers():
                 cid_base = self._alloc_cids(patch.entry_count(worker))
-                self.send(self.workers[worker], P.InstantiatePatch(
+                self.send_reliable(self.workers[worker], P.InstantiatePatch(
                     patch.patch_id, cid_base, instance_id))
             self.metrics.incr("patch_cache_hits")
         else:
@@ -488,7 +535,7 @@ class Controller(Actor):
             self.charge(self.costs.patch_compute_per_copy * patch.num_copies())
             for worker in patch.workers():
                 cid_base = self._alloc_cids(patch.entry_count(worker))
-                self.send(self.workers[worker], P.InstallPatch(
+                self.send_reliable(self.workers[worker], P.InstallPatch(
                     patch.patch_id, patch.entries[worker], cid_base,
                     instance_id))
             self.patch_cache.store(self._prev_block_key, wts.key, patch)
@@ -528,7 +575,7 @@ class Controller(Actor):
                 self._next_instance += 1
                 for worker in patch.workers():
                     cid_base = self._alloc_cids(patch.entry_count(worker))
-                    self.send(self.workers[worker], P.InstallPatch(
+                    self.send_reliable(self.workers[worker], P.InstallPatch(
                         patch.patch_id, patch.entries[worker], cid_base,
                         instance_id))
                 patch.apply_to_directory(self.directory)
@@ -662,7 +709,7 @@ class Controller(Actor):
         self.metrics.end("block", self.sim.now, key=run.seq,
                          compute=compute, results=dict(run.results))
         self._results_history.append((run.block_id, dict(run.results)))
-        self.send(self.driver, P.BlockComplete(
+        self.send_reliable(self.driver, P.BlockComplete(
             run.block_id, run.seq, dict(run.results), run.request_id))
         self._blocks_since_checkpoint += 1
         if (self.checkpoint_every is not None
@@ -686,7 +733,7 @@ class Controller(Actor):
             list(self._results_history),
         )
         for worker in self.live_workers:
-            self.send(self.workers[worker], P.SaveCheckpoint(checkpoint_id))
+            self.send_reliable(self.workers[worker], P.SaveCheckpoint(checkpoint_id))
         self._pending_checkpoint_id = checkpoint_id
         self.metrics.incr("checkpoints_started")
 
@@ -723,7 +770,7 @@ class Controller(Actor):
         self.runs.clear()  # in-flight blocks are abandoned and replayed
         self._halt_acks = set()
         for worker in self.live_workers:
-            self.send(self.workers[worker], P.Halt())
+            self.send_reliable(self.workers[worker], P.Halt())
         self.metrics.incr("recoveries_started")
 
     def _on_halt_ack(self, msg: P.HaltAck) -> None:
@@ -766,7 +813,7 @@ class Controller(Actor):
         self._results_history = list(history)
         self._load_acks = set()
         for worker, oids in per_worker_loads.items():
-            self.send(self.workers[worker],
+            self.send_reliable(self.workers[worker],
                       P.LoadCheckpoint(checkpoint_id, oids))
         self._expected_load_acks = set(per_worker_loads)
         if not per_worker_loads:
@@ -782,6 +829,6 @@ class Controller(Actor):
     def _finish_recovery(self) -> None:
         self._recovering = False
         self._holder_cids.clear()
-        self.send(self.driver, P.JobRestored(
+        self.send_reliable(self.driver, P.JobRestored(
             len(self._results_history) + 1, list(self._results_history)))
         self.metrics.incr("recoveries_completed")

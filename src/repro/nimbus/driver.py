@@ -98,7 +98,7 @@ class Job:
         return self._driver.iteration_log
 
 
-class Driver(Actor):
+class Driver(P.ReliableEndpoint, Actor):
     """Driver actor: advances the program generator on completions."""
 
     def __init__(
@@ -111,6 +111,7 @@ class Driver(Actor):
         max_inflight: int = 4,
     ):
         super().__init__(sim, "driver")
+        self._init_reliable(metrics)
         self.controller = controller
         self.program = program
         self.metrics = metrics
@@ -172,13 +173,13 @@ class Driver(Actor):
             if kind == "define":
                 if self._replaying:
                     continue  # objects already exist after recovery
-                self.send(self.controller, P.DefineObjects(directive[1]))
+                self.send_reliable(self.controller, P.DefineObjects(directive[1]))
                 self._wait = ("define",)
                 return
             if kind == "undefine":
                 if self._replaying:
                     continue
-                self.send(self.controller, P.UndefineObjects(directive[1]))
+                self.send_reliable(self.controller, P.UndefineObjects(directive[1]))
                 self._wait = ("define",)  # same ack message
                 return
             if kind == "run":
@@ -239,13 +240,13 @@ class Driver(Actor):
         if self.use_templates and block.block_id in self._installed:
             base = self._next_task_id
             self._next_task_id += block.num_tasks
-            self.send(self.controller, P.InstantiateBlock(
+            self.send_reliable(self.controller, P.InstantiateBlock(
                 block.block_id, block.num_tasks, base, params, request_id))
         else:
             template_start = self.use_templates
             if template_start:
                 self._installed.add(block.block_id)
-            self.send(self.controller, P.SubmitBlock(
+            self.send_reliable(self.controller, P.SubmitBlock(
                 block, params, template_start, request_id))
 
     # ------------------------------------------------------------------

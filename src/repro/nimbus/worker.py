@@ -67,8 +67,18 @@ class _InstanceRecord:
         self.report_cids = report_cids
 
 
-class Worker(Actor):
-    """A Nimbus worker node."""
+class Worker(P.ReliableEndpoint, Actor):
+    """A Nimbus worker node.
+
+    Workers speak the reliable channel protocol for all control traffic
+    and direct data exchange, and keep idempotent-receive guards at the
+    application layer: a redelivered template instantiation, patch
+    install, or patch invocation is discarded (counted under
+    ``protocol.stale_discards``) instead of re-enqueueing commands whose
+    ids are already live — which would silently corrupt the local
+    conflict tracker and, through bogus completions, the controller's
+    object-version map.
+    """
 
     def __init__(
         self,
@@ -83,6 +93,7 @@ class Worker(Actor):
         duration_scale: float = 1.0,
     ):
         super().__init__(sim, f"worker-{worker_id}")
+        self._init_reliable(metrics)
         self.worker_id = worker_id
         self.controller = controller
         self.registry = registry
@@ -111,9 +122,14 @@ class Worker(Actor):
         # template and patch caches
         self._templates: Dict[Tuple[str, int], WorkerHalf] = {}
         self._patches: Dict[int, List] = {}
+        #: every (patch_id, instance_id) ever run; guards redelivery
+        self._ran_patches: set = set()
 
         # instances
         self._instances: Dict[Hashable, _InstanceRecord] = {}
+        #: every (block_id, instance_id) ever started — survives halts so
+        #: instantiations redelivered across a recovery stay discarded
+        self._seen_instances: set = set()
 
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
@@ -166,7 +182,15 @@ class Worker(Actor):
     # ------------------------------------------------------------------
     # Template install / instantiate
     # ------------------------------------------------------------------
+    def _stale(self) -> None:
+        self.metrics.incr("protocol.stale_discards")
+
     def _on_install_template(self, msg: P.InstallWorkerTemplate) -> None:
+        if (msg.block_id, msg.version) in self._templates:
+            # redelivered install: reinstalling would wipe edits already
+            # applied to the cached half
+            self._stale()
+            return
         entries = [e.clone() if e is not None else None for e in msg.entries]
         half = WorkerHalf(msg.block_id, msg.version, entries, msg.reports)
         self._templates[half.key] = half
@@ -176,6 +200,14 @@ class Worker(Actor):
         self.metrics.incr("worker_templates_installed")
 
     def _on_instantiate_template(self, msg: P.InstantiateWorkerTemplate) -> None:
+        key = (msg.block_id, msg.instance_id)
+        if key in self._seen_instances:
+            # redelivered (or stale pre-halt) instantiation: its command
+            # ids were already allocated once; running it again would
+            # collide with live commands and double-apply edits
+            self._stale()
+            return
+        self._seen_instances.add(key)
         half = self._templates[(msg.block_id, msg.version)]
         if msg.edits:
             apply_edits(half.entries, msg.edits)
@@ -206,11 +238,19 @@ class Worker(Actor):
             self._finish_instance(record)
 
     def _on_install_patch(self, msg: P.InstallPatch) -> None:
+        if msg.patch_id in self._patches:
+            self._stale()  # redelivered install: the patch already ran
+            return
         entries = [e.clone() for e in msg.entries]
         self._patches[msg.patch_id] = entries
+        self._ran_patches.add((msg.patch_id, msg.instance_id))
         self._run_patch(entries, msg.instance_id, msg.cid_base)
 
     def _on_instantiate_patch(self, msg: P.InstantiatePatch) -> None:
+        if (msg.patch_id, msg.instance_id) in self._ran_patches:
+            self._stale()  # redelivered invocation of an already-run patch
+            return
+        self._ran_patches.add((msg.patch_id, msg.instance_id))
         entries = self._patches[msg.patch_id]
         self._run_patch(entries, msg.instance_id, msg.cid_base)
 
@@ -356,7 +396,7 @@ class Worker(Actor):
         oid = cmd.read[0]
         payload = self.store.get(oid)
         peer = self.peers[cmd.dst_worker]
-        self.send(peer, P.DataMessage(cmd.tag, oid, payload, cmd.size_bytes))
+        self.send_reliable(peer, P.DataMessage(cmd.tag, oid, payload, cmd.size_bytes))
         self._complete(cmd, duration=0.0)
 
     # ------------------------------------------------------------------
@@ -378,7 +418,7 @@ class Worker(Actor):
         scope, key = meta_key
         if scope == "central":
             oid = cmd.write[0] if (report and cmd.write) else None
-            self.send(self.controller, P.CommandComplete(
+            self.send_reliable(self.controller, P.CommandComplete(
                 self.worker_id, cid, key, duration, value, oid,
             ))
         else:
@@ -393,7 +433,7 @@ class Worker(Actor):
 
     def _finish_instance(self, record: _InstanceRecord) -> None:
         del self._instances[(record.block_id, record.instance_id)]
-        self.send(self.controller, P.InstanceComplete(
+        self.send_reliable(self.controller, P.InstanceComplete(
             self.worker_id, record.block_id, record.instance_id,
             record.block_seq, record.compute_time, record.values,
         ))
@@ -412,8 +452,8 @@ class Worker(Actor):
         self.call_later(delay, self._ack_checkpoint, msg.checkpoint_id)
 
     def _ack_checkpoint(self, checkpoint_id: int) -> None:
-        self.send(self.controller,
-                  P.CheckpointAck(self.worker_id, checkpoint_id))
+        self.send_reliable(self.controller,
+                           P.CheckpointAck(self.worker_id, checkpoint_id))
 
     def _on_load_checkpoint(self, msg: P.LoadCheckpoint) -> None:
         for oid in msg.oids:
@@ -423,7 +463,8 @@ class Worker(Actor):
         self.call_later(delay, self._ack_load, msg.checkpoint_id)
 
     def _ack_load(self, checkpoint_id: int) -> None:
-        self.send(self.controller, P.LoadAck(self.worker_id, checkpoint_id))
+        self.send_reliable(self.controller,
+                           P.LoadAck(self.worker_id, checkpoint_id))
 
     def _on_halt(self) -> None:
         """Terminate ongoing tasks, flush queues, respond (§4.4)."""
@@ -439,7 +480,7 @@ class Worker(Actor):
         self._data_buffer.clear()
         self._expected.clear()
         self._instances.clear()
-        self.send(self.controller, P.HaltAck(self.worker_id))
+        self.send_reliable(self.controller, P.HaltAck(self.worker_id))
 
     # ------------------------------------------------------------------
     # Failure injection and heartbeats
@@ -460,6 +501,9 @@ class Worker(Actor):
         self._epoch += 1
         if self.network is not None:
             self.network.partition(self.name)
+
+    def _rel_alive(self) -> bool:
+        return not self._dead
 
     # ------------------------------------------------------------------
     # Introspection (tests)

@@ -54,6 +54,15 @@ class Metrics:
     def count(self, name: str) -> float:
         return self.counters.get(name, 0.0)
 
+    def counters_snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """A plain-dict copy of all counters (optionally filtered by prefix).
+
+        Used to compare whole runs — e.g. asserting that replaying a chaos
+        seed reproduces byte-identical fault and protocol counters.
+        """
+        return {name: value for name, value in sorted(self.counters.items())
+                if name.startswith(prefix)}
+
     # -- series ---------------------------------------------------------
     def sample(self, name: str, time: float, value: float) -> None:
         self.series[name].append((time, value))

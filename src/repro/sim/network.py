@@ -7,14 +7,23 @@ bandwidth, so the model is a full mesh of independent links. Each directed
 
 Messages between actors on the same node (src is dst) are delivered with a
 small loopback latency and no bandwidth charge.
+
+Transmitting to (or from) a partitioned actor drops the message, like a
+dead TCP peer — but never silently: the drop increments the
+``partition_drops`` counter (and the ``net.partition_drops`` metric when a
+:class:`~repro.sim.metrics.Metrics` is attached) and invokes the optional
+``on_partition_drop`` callback so senders can observe the loss. Recovering
+from such drops is the job of the reliable protocol layer
+(:mod:`repro.nimbus.protocol`), not the network.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .actor import Actor, Message
 from .engine import Simulator
+from .metrics import Metrics
 
 
 class Network:
@@ -31,6 +40,12 @@ class Network:
         Per-link bandwidth in bytes/second (default 1.25 GB/s ≈ 10 Gb/s).
     loopback_latency:
         Delivery delay for messages an actor sends to itself.
+    metrics:
+        Optional metrics sink; drops to partitioned actors are counted
+        under ``net.partition_drops``.
+    on_partition_drop:
+        Optional ``(src, dst, msg)`` callback invoked for every message
+        dropped because either end is partitioned.
     """
 
     def __init__(
@@ -39,19 +54,26 @@ class Network:
         latency: float = 100e-6,
         bandwidth: float = 1.25e9,
         loopback_latency: float = 1e-6,
+        metrics: Optional[Metrics] = None,
+        on_partition_drop: Optional[Callable[[Actor, Actor, Message], None]] = None,
     ):
         self.sim = sim
         self.latency = latency
         self.bandwidth = bandwidth
         self.loopback_latency = loopback_latency
+        self.metrics = metrics
+        self.on_partition_drop = on_partition_drop
         self._link_free: Dict[Tuple[str, str], float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.partition_drops = 0
         self.partitioned: set = set()  # names of actors cut off (failure injection)
+        self.actors: Dict[str, Actor] = {}  # name -> attached actor
 
     def attach(self, actor: Actor) -> Actor:
         """Attach an actor so it can send through this network."""
         actor.network = self
+        self.actors[actor.name] = actor
         return actor
 
     def partition(self, actor_name: str) -> None:
@@ -65,7 +87,21 @@ class Network:
     def transmit(self, src: Actor, dst: Actor, msg: Message, depart: float) -> None:
         """Transmit ``msg`` from ``src`` to ``dst``, departing at ``depart``."""
         if src.name in self.partitioned or dst.name in self.partitioned:
-            return  # silently dropped, like a dead TCP peer
+            self._drop_partitioned(src, dst, msg)
+            return
+        self._deliver(src, dst, msg, depart)
+
+    def _drop_partitioned(self, src: Actor, dst: Actor, msg: Message) -> None:
+        """Account for a message lost to a partition and notify the sender."""
+        self.partition_drops += 1
+        if self.metrics is not None:
+            self.metrics.incr("net.partition_drops")
+        if self.on_partition_drop is not None:
+            self.on_partition_drop(src, dst, msg)
+
+    def _deliver(self, src: Actor, dst: Actor, msg: Message, depart: float,
+                 extra_delay: float = 0.0) -> None:
+        """Charge the link and schedule delivery (shared with chaos wrappers)."""
         self.messages_sent += 1
         size = getattr(msg, "size_bytes", 0)
         self.bytes_sent += size
@@ -78,4 +114,5 @@ class Network:
             done = start + size / self.bandwidth
             self._link_free[key] = done
             arrive = done + self.latency
+        arrive += extra_delay
         self.sim.schedule_at(max(arrive, self.sim.now), dst.deliver, msg)

@@ -35,3 +35,15 @@ class SeedSequence:
             rng = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = rng
         return rng
+
+    def child(self, name: str) -> "SeedSequence":
+        """Derive an independent child sequence (e.g. one per subsystem).
+
+        ``seeds.child("chaos")`` always yields the same child for a given
+        root seed, so a subsystem can own a whole namespace of substreams
+        without colliding with — or perturbing — any sibling's draws.
+        """
+        digest = hashlib.sha256(
+            f"{self.root_seed}/{name}".encode("utf-8")
+        ).digest()
+        return SeedSequence(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,202 @@
+"""Unit tests for the chaos-injection engine (FaultPlan + ChaosNetwork)."""
+
+import pytest
+
+from repro.chaos import REORDER_FLUSH, ChaosNetwork, FaultPlan, FaultRule, PROFILES
+from repro.sim.actor import Actor, Message
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Metrics
+
+
+class Packet(Message):
+    def __init__(self, tag, size_bytes=0):
+        self.tag = tag
+        self.size_bytes = size_bytes
+
+
+class Probe(Message):
+    """A second message type, for message-type-targeted rules."""
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.size_bytes = 0
+
+
+class Sink(Actor):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def handle(self, msg):
+        self.arrivals.append((self.sim.now, msg.tag))
+
+
+def build(plan, latency=0.001, bandwidth=1e9):
+    sim = Simulator()
+    metrics = Metrics()
+    net = ChaosNetwork(sim, plan, latency=latency, bandwidth=bandwidth,
+                       metrics=metrics)
+    src = net.attach(Sink(sim, "src"))
+    dst = net.attach(Sink(sim, "dst"))
+    return sim, net, src, dst
+
+
+# ---------------------------------------------------------------------------
+# Individual fault kinds, each on a scripted two-actor exchange
+# ---------------------------------------------------------------------------
+def test_drop_discards_the_message():
+    plan = FaultPlan(seed=1).drop(1.0)
+    sim, net, src, dst = build(plan)
+    for i in range(5):
+        net.transmit(src, dst, Packet(i), depart=0.0)
+    sim.run()
+    assert dst.arrivals == []
+    assert net.metrics.count("chaos.drops") == 5
+    assert [kind for _t, kind, *_ in net.fault_log] == ["drop"] * 5
+
+
+def test_delay_adds_bounded_extra_latency():
+    plan = FaultPlan(seed=1).delay(1.0, min_delay=0.005, max_delay=0.005)
+    sim, net, src, dst = build(plan, latency=0.001)
+    net.transmit(src, dst, Packet("p"), depart=0.0)
+    sim.run()
+    assert dst.arrivals[0][0] == pytest.approx(0.001 + 0.005)
+    assert net.metrics.count("chaos.delays") == 1
+
+
+def test_duplicate_delivers_twice_with_lag():
+    plan = FaultPlan(seed=1).duplicate(1.0, lag=0.002)
+    sim, net, src, dst = build(plan, latency=0.001)
+    net.transmit(src, dst, Packet("p"), depart=0.0)
+    sim.run()
+    assert [tag for _t, tag in dst.arrivals] == ["p", "p"]
+    assert dst.arrivals[1][0] - dst.arrivals[0][0] == pytest.approx(0.002)
+    assert net.metrics.count("chaos.duplicates") == 1
+
+
+def test_reorder_releases_after_next_transmission():
+    # only Probe messages are reordered; the Packet overtakes the held Probe
+    plan = FaultPlan(seed=1).reorder(1.0, message_types=("Probe",))
+    sim, net, src, dst = build(plan)
+    net.transmit(src, dst, Probe("held"), depart=0.0)
+    net.transmit(src, dst, Packet("fast"), depart=0.0)
+    sim.run()
+    assert [tag for _t, tag in dst.arrivals] == ["fast", "held"]
+    assert net.metrics.count("chaos.reorders") == 1
+
+
+def test_reordered_message_flushes_when_pair_goes_quiet():
+    plan = FaultPlan(seed=1).reorder(1.0)
+    sim, net, src, dst = build(plan, latency=0.001)
+    net.transmit(src, dst, Packet("lonely"), depart=0.0)
+    sim.run()
+    # no follow-up traffic: the safety timer still releases the hold
+    assert [tag for _t, tag in dst.arrivals] == ["lonely"]
+    assert dst.arrivals[0][0] == pytest.approx(REORDER_FLUSH + 0.001)
+
+
+# ---------------------------------------------------------------------------
+# Rule matching
+# ---------------------------------------------------------------------------
+def test_rules_match_src_dst_globs_and_message_types():
+    rule = FaultRule("drop", 1.0, src="worker-*", dst="controller",
+                     message_types=("Heartbeat",))
+    assert rule.matches("worker-3", "controller", "Heartbeat")
+    assert not rule.matches("driver", "controller", "Heartbeat")
+    assert not rule.matches("worker-3", "driver", "Heartbeat")
+    assert not rule.matches("worker-3", "controller", "DataMessage")
+
+
+def test_targeted_rule_leaves_other_traffic_untouched():
+    plan = FaultPlan(seed=1).drop(1.0, dst="other")
+    sim, net, src, dst = build(plan)
+    net.transmit(src, dst, Packet("through"), depart=0.0)
+    sim.run()
+    assert [tag for _t, tag in dst.arrivals] == ["through"]
+    assert net.metrics.count("chaos.drops") == 0
+
+
+def test_partitions_take_precedence_over_chaos():
+    plan = FaultPlan(seed=1).duplicate(1.0)
+    sim, net, src, dst = build(plan)
+    net.partition("dst")
+    net.transmit(src, dst, Packet("gone"), depart=0.0)
+    sim.run()
+    assert dst.arrivals == []
+    assert net.partition_drops == 1
+    assert net.metrics.count("chaos.duplicates") == 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism: the fault schedule is a pure function of (plan, seed, traffic)
+# ---------------------------------------------------------------------------
+def run_scripted_exchange(seed):
+    plan = FaultPlan.from_profile("lossy", seed=seed)
+    sim, net, src, dst = build(plan)
+    for i in range(300):
+        net.transmit(src, dst, Packet(i, size_bytes=64), depart=i * 1e-4)
+        if i % 3 == 0:
+            net.transmit(dst, src, Packet(-i), depart=i * 1e-4)
+    sim.run()
+    return (net.fault_log, dst.arrivals, src.arrivals,
+            net.metrics.counters_snapshot("chaos."))
+
+
+def test_same_seed_gives_identical_fault_schedule():
+    first = run_scripted_exchange(seed=5)
+    second = run_scripted_exchange(seed=5)
+    assert first == second
+    assert len(first[0]) > 0  # the profile actually fired faults
+
+
+def test_different_seeds_give_different_fault_schedules():
+    first = run_scripted_exchange(seed=5)
+    second = run_scripted_exchange(seed=6)
+    assert first[0] != second[0]
+
+
+def test_fault_log_agrees_with_counters():
+    fault_log, _d, _s, counters = run_scripted_exchange(seed=5)
+    by_kind = {}
+    for _t, kind, *_ in fault_log:
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    assert counters == {f"chaos.{kind}s": count
+                        for kind, count in sorted(by_kind.items())}
+
+
+# ---------------------------------------------------------------------------
+# Scripted events and profiles
+# ---------------------------------------------------------------------------
+def test_scripted_crash_and_pause():
+    class FakeWorker:
+        def __init__(self):
+            self.failed_at = None
+
+        def fail(self):
+            self.failed_at = sim.now
+
+    plan = (FaultPlan(seed=0)
+            .crash_worker(at=0.5, worker=1)
+            .pause_actor(at=0.1, actor="dst", duration=0.2))
+    sim = Simulator()
+    net = ChaosNetwork(sim, plan)
+    net.attach(Sink(sim, "src"))
+    net.attach(Sink(sim, "dst"))
+    worker = FakeWorker()
+    plan.apply_scripted(sim, net, {1: worker})
+    sim.run(until=0.15)
+    assert "dst" in net.partitioned  # paused
+    sim.run(until=0.35)
+    assert "dst" not in net.partitioned  # healed
+    assert worker.failed_at is None
+    sim.run()
+    assert worker.failed_at == pytest.approx(0.5)
+
+
+def test_profiles_build_and_unknown_name_raises():
+    for name in PROFILES:
+        plan = FaultPlan.from_profile(name, seed=9)
+        assert plan.seed == 9
+        assert plan.rules
+    with pytest.raises(ValueError, match="unknown chaos profile"):
+        FaultPlan.from_profile("nope")

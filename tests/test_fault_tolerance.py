@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.spec import BlockSpec, LogicalTask, StageSpec
 from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
 
 from .helpers import (
     combine_registry,
@@ -111,6 +112,59 @@ def test_failure_without_checkpoint_raises():
                             checkpoint_every=1000)
     with pytest.raises(RuntimeError):
         cluster.run_until_finished(max_seconds=1e4)
+
+
+def _crash_on_message(cluster, target, message_type, after=0.0):
+    """Kill ``target`` when the first ``message_type`` is transmitted to it
+    (``after`` seconds later), so the crash lands inside a protocol window
+    instead of between iterations."""
+    original = cluster.network.transmit
+    fired = {}
+
+    def transmit(src, dst, msg, depart):
+        original(src, dst, msg, depart)
+        if not fired and dst is target and isinstance(msg, message_type):
+            fired["at"] = cluster.sim.now
+            if after == 0.0:
+                target.fail()
+            else:
+                cluster.sim.schedule(after, target.fail)
+
+    cluster.network.transmit = transmit
+    return fired
+
+
+def test_crash_during_template_install_recovers():
+    """The worker dies while its template half is on the wire: the install
+    never lands, the controller must re-halt and regenerate templates for
+    the survivors, and the results still match the reference."""
+    cluster = build_cluster(iterations=8, checkpoint_every=1)
+    fired = _crash_on_message(cluster, cluster.workers[2],
+                              P.InstallWorkerTemplate)
+    cluster.run_until_finished(max_seconds=1e4)
+    assert fired, "no InstallWorkerTemplate was ever sent to the victim"
+    assert cluster.metrics.count("recoveries_completed") == 1
+    expected = reference(8)
+    assert worker_values(cluster, OUT + [ACC]) == \
+        {oid: expected[oid] for oid in OUT + [ACC]}
+
+
+def test_crash_between_instantiation_and_completion_recovers():
+    """The worker dies after receiving an instantiation but before sending
+    InstanceComplete — the controller is left waiting on a completion that
+    will never come, and only failure recovery can unblock the job."""
+    cluster = build_cluster(iterations=8, checkpoint_every=1)
+    # task duration is 1e-3s: dying 2e-4s after the instantiation arrives
+    # lands mid-instance, with commands enqueued but unreported
+    fired = _crash_on_message(cluster, cluster.workers[2],
+                              P.InstantiateWorkerTemplate, after=3e-4)
+    cluster.run_until_finished(max_seconds=1e4)
+    assert fired, "no InstantiateWorkerTemplate was ever sent to the victim"
+    assert cluster.metrics.count("recoveries_completed") == 1
+    assert cluster.metrics.count("driver_replays") == 1
+    expected = reference(8)
+    assert worker_values(cluster, OUT + [ACC]) == \
+        {oid: expected[oid] for oid in OUT + [ACC]}
 
 
 def test_templates_survive_recovery():

@@ -1,0 +1,262 @@
+"""Property tests: the hardened protocol masks chaos from the application.
+
+The central claim: under drops, delays, duplicates, and reorders, a Nimbus
+run produces **bit-identical results and control-plane decisions** to a
+fault-free run — the reliable channel layer absorbs every fault — while
+the protocol counters prove the faults actually happened and were handled.
+"""
+
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+from repro.sim.actor import Actor, Message
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Metrics
+
+from .helpers import (
+    combine_registry,
+    reference_execute,
+    simple_define,
+    worker_values,
+)
+
+DATA = [1, 2, 3]
+OUT = [11, 12, 13]
+ACC = 30
+ITERATIONS = 4
+
+#: counters that capture the controller's template decisions; chaos must
+#: not change a single one of them
+TEMPLATE_COUNTERS = (
+    "controller_templates_installed", "worker_templates_installed",
+    "template_instantiations", "auto_validations", "full_validations",
+    "patches_computed", "patch_cache_hits", "edits_applied",
+    "tasks_executed",
+)
+
+
+def blocks():
+    seed_block = BlockSpec("seed", [StageSpec("seed", [
+        LogicalTask("seed", read=(), write=(oid,), param_slot="v")
+        for oid in DATA + [ACC]
+    ])])
+    iter_block = BlockSpec("iter", [
+        StageSpec("map", [
+            LogicalTask("combine", read=(DATA[i],), write=(OUT[i],))
+            for i in range(len(DATA))
+        ]),
+        StageSpec("fold", [
+            LogicalTask("combine", read=tuple(OUT) + (ACC,), write=(ACC,)),
+        ]),
+    ], returns={"acc": ACC})
+    return seed_block, iter_block
+
+
+def program(job):
+    objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+    seed_block, iter_block = blocks()
+    yield job.define(simple_define(objects))
+    yield job.run(seed_block, {"v": 2})
+    for _ in range(ITERATIONS):
+        yield job.run(iter_block)
+
+
+def run_cluster(chaos_plan=None, num_workers=3, **kwargs):
+    cluster = NimbusCluster(num_workers, program,
+                            registry=combine_registry(),
+                            chaos_plan=chaos_plan, **kwargs)
+    cluster.run_until_finished(max_seconds=1e5)
+    return cluster
+
+
+def final_values(cluster):
+    return worker_values(cluster, OUT + [ACC])
+
+
+def template_snapshot(cluster):
+    return {name: cluster.metrics.count(name) for name in TEMPLATE_COUNTERS}
+
+
+def expected_values():
+    seed_block, iter_block = blocks()
+    store = reference_execute(
+        [(seed_block, {"v": 2})] + [(iter_block, {})] * ITERATIONS)
+    return {oid: store[oid] for oid in OUT + [ACC]}
+
+
+# ---------------------------------------------------------------------------
+# The acceptance sweep: >= 20 chaos seeds, all bit-identical to fault-free
+# ---------------------------------------------------------------------------
+def test_chaos_runs_match_fault_free_across_20_seeds():
+    baseline = run_cluster()
+    base_values = final_values(baseline)
+    base_templates = template_snapshot(baseline)
+    assert base_values == expected_values()
+
+    total_dups = 0.0
+    for chaos_seed in range(20):
+        plan = FaultPlan.from_profile("lossy", seed=chaos_seed)
+        cluster = run_cluster(chaos_plan=plan)
+        assert final_values(cluster) == base_values, \
+            f"chaos seed {chaos_seed} changed the results"
+        # the control plane made the exact same template decisions
+        assert template_snapshot(cluster) == base_templates, \
+            f"chaos seed {chaos_seed} changed control-plane decisions"
+        # ... while the transport provably did real work
+        assert cluster.metrics.count("chaos.drops") > 0
+        assert cluster.metrics.count("protocol.retries") > 0
+        total_dups += cluster.metrics.count("protocol.dup_discards")
+    assert total_dups > 0
+
+
+def test_chaos_plus_crash_sweep_matches_reference_across_20_seeds():
+    """The full acceptance scenario: 5% drops + latency jitter + duplicates
+    + reorders *and* one mid-run worker crash, across 20 chaos seeds —
+    every run recovers and lands on the exact reference values.
+
+    The crash fires at a program point (before the second-to-last
+    iteration submits) rather than at a wall-clock time, because chaos
+    stretches each seed's timeline differently — a fixed-time crash would
+    land after the job ends on fast seeds and before the first checkpoint
+    commits on slow ones.
+    """
+    expected = expected_values()
+    total_dups = 0.0
+    for chaos_seed in range(20):
+        box = {}
+
+        def crashing_program(job):
+            objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+            seed_block, iter_block = blocks()
+            yield job.define(simple_define(objects))
+            yield job.run(seed_block, {"v": 2})
+            for i in range(ITERATIONS):
+                if i == ITERATIONS - 2 and not box["cluster"].workers[2]._dead:
+                    box["cluster"].workers[2].fail()
+                yield job.run(iter_block)
+
+        plan = FaultPlan.from_profile("lossy", seed=chaos_seed)
+        cluster = NimbusCluster(
+            3, crashing_program, registry=combine_registry(),
+            chaos_plan=plan, checkpoint_every=1, heartbeat_timeout=1.0,
+        )
+        box["cluster"] = cluster
+        cluster.start_fault_tolerance(heartbeat_interval=0.1,
+                                      check_interval=0.2)
+        cluster.run_until_finished(max_seconds=1e5)
+        assert cluster.metrics.count("recoveries_completed") == 1, \
+            f"chaos seed {chaos_seed}: crash did not land mid-run"
+        assert final_values(cluster) == expected, \
+            f"chaos seed {chaos_seed} diverged from the reference"
+        assert cluster.metrics.count("protocol.retries") > 0
+        total_dups += cluster.metrics.count("protocol.dup_discards")
+    assert total_dups > 0
+
+
+def test_replaying_a_chaos_seed_is_bit_identical():
+    plan_a = FaultPlan.from_profile("lossy", seed=1234)
+    plan_b = FaultPlan.from_profile("lossy", seed=1234)
+    first = run_cluster(chaos_plan=plan_a)
+    second = run_cluster(chaos_plan=plan_b)
+    assert first.metrics.counters_snapshot() == second.metrics.counters_snapshot()
+    assert first.network.fault_log == second.network.fault_log
+    assert first.sim.now == second.sim.now
+    assert final_values(first) == final_values(second)
+
+
+# ---------------------------------------------------------------------------
+# Reliable channels in isolation: exactly-once, in-order under hostile chaos
+# ---------------------------------------------------------------------------
+class Datum(Message):
+    size_bytes = 64
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class Peer(P.ReliableEndpoint, Actor):
+    def __init__(self, sim, name, metrics):
+        super().__init__(sim, name)
+        self._init_reliable(metrics)
+        self.received = []
+
+    def handle(self, msg):
+        self.received.append(msg.tag)
+
+
+def test_reliable_channel_is_exactly_once_in_order_under_hostile_chaos():
+    from repro.chaos import ChaosNetwork
+
+    plan = FaultPlan.from_profile("hostile", seed=99)
+    sim = Simulator()
+    metrics = Metrics()
+    net = ChaosNetwork(sim, plan, metrics=metrics)
+    alice = net.attach(Peer(sim, "alice", metrics))
+    bob = net.attach(Peer(sim, "bob", metrics))
+    for i in range(100):
+        alice.send_reliable(bob, Datum(i))
+    sim.run()
+    assert bob.received == list(range(100))
+    assert metrics.count("chaos.drops") > 0
+    assert metrics.count("protocol.retries") > 0
+    assert metrics.count("protocol.dup_discards") > 0
+    assert metrics.count("protocol.reorder_holds") > 0
+    assert not alice._rel_unacked  # every message was acknowledged
+
+
+def test_plain_peers_fall_back_to_unreliable_sends():
+    sim = Simulator()
+    metrics = Metrics()
+    from repro.sim.network import Network
+
+    net = Network(sim, metrics=metrics)
+    alice = net.attach(Peer(sim, "alice", metrics))
+
+    class Bare(Actor):  # not a ReliableEndpoint; never acks
+        def __init__(self, sim):
+            super().__init__(sim, "bare")
+            self.received = []
+
+        def handle(self, msg):
+            self.received.append(msg.tag)
+
+    bare = net.attach(Bare(sim))
+    alice.send_reliable(bare, Datum("x"))
+    sim.run()
+    assert bare.received == ["x"]
+    assert not alice._rel_unacked  # no retransmission state was created
+    assert metrics.count("protocol.retries") == 0
+
+
+# ---------------------------------------------------------------------------
+# Transient partitions: a paused worker is a crash-and-restart
+# ---------------------------------------------------------------------------
+def test_transient_worker_partition_is_masked_by_retransmission():
+    plan = (FaultPlan(seed=0)
+            .pause_actor(at=0.002, actor="worker-1", duration=0.4))
+    cluster = run_cluster(chaos_plan=plan)
+    assert final_values(cluster) == expected_values()
+    # messages really were lost to the partition, then retransmitted
+    assert cluster.metrics.count("net.partition_drops") > 0
+    assert cluster.metrics.count("protocol.retries") > 0
+    assert cluster.metrics.count("recoveries_completed") == 0
+
+
+def test_chaos_plus_midrun_crash_still_recovers_to_correct_values():
+    """Chaos and a real (permanent) crash compose: checkpoint recovery runs
+    under a faulty network and still converges to the reference values."""
+    plan = (FaultPlan.from_profile("lossy", seed=7)
+            .crash_worker(at=0.9, worker=2))
+    cluster = NimbusCluster(
+        3, program, registry=combine_registry(), chaos_plan=plan,
+        checkpoint_every=1, heartbeat_timeout=1.0,
+    )
+    cluster.start_fault_tolerance(heartbeat_interval=0.1, check_interval=0.2)
+    cluster.run_until_finished(max_seconds=1e5)
+    assert cluster.metrics.count("recoveries_completed") == 1
+    assert cluster.metrics.count("driver_replays") == 1
+    assert final_values(cluster) == expected_values()
+    assert cluster.metrics.count("protocol.retries") > 0

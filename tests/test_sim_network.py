@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.actor import Actor, Message
 from repro.sim.engine import Simulator
+from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 
 
@@ -93,6 +94,36 @@ def test_partitioned_sender_drops_messages():
     net.transmit(src, dst, Packet("lost"), depart=0.0)
     sim.run()
     assert dst.arrivals == []
+
+
+def test_partition_drops_are_observable():
+    """Partition losses are never silent: they increment the network's
+    counter, the ``net.partition_drops`` metric, and fire the sender
+    callback with the exact (src, dst, msg) that was lost."""
+    sim = Simulator()
+    metrics = Metrics()
+    observed = []
+    net = Network(
+        sim, metrics=metrics,
+        on_partition_drop=lambda s, d, m: observed.append((s.name, d.name, m.tag)),
+    )
+    src = net.attach(Sink(sim, "src"))
+    dst = net.attach(Sink(sim, "dst"))
+    net.partition("dst")
+    net.transmit(src, dst, Packet("lost-1"), depart=0.0)
+    net.transmit(src, dst, Packet("lost-2"), depart=0.0)
+    net.heal("dst")
+    net.transmit(src, dst, Packet("kept"), depart=0.0)
+    sim.run()
+    assert net.partition_drops == 2
+    assert metrics.count("net.partition_drops") == 2
+    assert observed == [("src", "dst", "lost-1"), ("src", "dst", "lost-2")]
+    assert [tag for _t, tag in dst.arrivals] == ["kept"]
+
+
+def test_attach_registers_actor_by_name():
+    sim, net, src, dst = build()
+    assert net.actors == {"src": src, "dst": dst}
 
 
 def test_traffic_accounting():
