@@ -1,0 +1,127 @@
+"""Wall-clock perf suite: times fig07/fig08, guards virtual-time fidelity,
+and maintains the repo-root ``BENCH_control_plane.json`` trajectory file.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/perf/ -q``; set
+``REPRO_BENCH_SCALE=small`` for the CI smoke configuration.
+
+Three guarantees, in order:
+
+1. **fidelity** — the optimized simulator computes the exact same virtual
+   results (steady-state iteration times, control-plane decision counters)
+   as recorded when the fast path landed;
+2. **no regression** — wall-clock must not degrade more than 2x against
+   the committed BENCH numbers;
+3. **trajectory** — the BENCH file is rewritten with this run's numbers so
+   the history travels with the repository (CI uploads it as an artifact).
+"""
+
+import os
+
+import pytest
+
+from repro.perf import (
+    SCALES,
+    bench_path,
+    load_bench,
+    run_harness,
+    write_bench,
+)
+
+SCALE = "small" if os.environ.get("REPRO_BENCH_SCALE") == "small" else "paper"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+#: steady-state mean iteration times recorded when the control-plane fast
+#: path landed. LR at 50/100 workers is bit-identical to the pre-optimization
+#: seed; the 10/20-worker entries (and k-means at 10/20) differ from the seed
+#: by 1 ulp because dispatch batching shifts warm-up *absolute* times, which
+#: changes the float rounding of the interval subtraction — the virtual
+#: timeline itself is unchanged (see DESIGN.md "Performance").
+GOLDEN_ITERATION = {
+    "fig07_lr": {
+        10: 0.41346526557377467,
+        20: 0.20854723278689025,
+        50: 0.08559641311475552,
+        100: 0.044612806557382534,
+    },
+    "fig08_kmeans": {
+        10: 0.6174654584615371,
+        20: 0.3169846892307699,
+        50: 0.1366962276923105,
+        100: 0.07660007384614964,
+    },
+}
+
+#: control-plane decision counters are scale-keyed only through task counts
+GOLDEN_TASKS = {10: 12211.0, 20: 24365.0, 50: 60827.0, 100: 121555.0}
+GOLDEN_DECISIONS = {
+    "auto_validations": 10.0,
+    "full_validations": 1.0,
+    "template_instantiations": 13.0,
+    "patches_computed": 1.0,
+    "patch_cache_hits": 0.0,
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_harness(SCALE)
+
+
+def test_virtual_results_are_bit_identical(report):
+    for workload, rows in report["workloads"].items():
+        for row in rows:
+            n = row["workers"]
+            assert row["mean_iteration_time"] == \
+                GOLDEN_ITERATION[workload][n], \
+                f"{workload}@{n}: virtual iteration time drifted"
+            counters = dict(row["counters"])
+            assert counters.pop("tasks_executed") == GOLDEN_TASKS[n]
+            assert counters.pop("tasks_scheduled") == GOLDEN_TASKS[n]
+            assert counters == GOLDEN_DECISIONS, \
+                f"{workload}@{n}: control-plane decisions changed"
+
+
+def test_faster_than_seed_baseline(report):
+    """The recorded speedup vs the pre-optimization seed stays real.
+
+    The committed BENCH file documents the measured 2x; this assertion
+    uses a lower bar so an unlucky shared-CI machine does not flake.
+    """
+    for workload, speedup in report["speedup_vs_baseline"].items():
+        assert speedup >= 1.3, \
+            f"{workload}: only {speedup}x vs the seed baseline"
+
+
+def test_no_wall_clock_regression_vs_committed(report):
+    committed = load_bench(bench_path(REPO_ROOT))
+    if committed is None or SCALE not in committed.get("scales", {}):
+        pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
+    before = committed["scales"][SCALE]["workloads"]
+    for workload, rows in report["workloads"].items():
+        committed_total = sum(r["wall_seconds"] for r in before[workload])
+        current_total = sum(r["wall_seconds"] for r in rows)
+        assert current_total <= 2.0 * committed_total, (
+            f"{workload}: {current_total:.2f}s wall vs committed "
+            f"{committed_total:.2f}s — >2x regression"
+        )
+
+
+def test_microbenchmarks_report_positive_rates(report):
+    micro = report["microbenchmarks"]
+    assert set(micro) == {
+        "validate_ops_per_sec", "patch_ops_per_sec",
+        "instantiate_ops_per_sec", "engine_events_per_sec",
+    }
+    for name, rate in micro.items():
+        assert rate > 0, name
+
+
+def test_bench_file_is_updated_last(report):
+    """Rewrite BENCH_control_plane.json with this run (runs after the
+    regression gate has compared against the committed copy)."""
+    doc = write_bench(report, bench_path(REPO_ROOT))
+    assert doc["schema_version"] == 1
+    assert SCALE in doc["scales"]
+    assert doc["scales"][SCALE]["workloads"].keys() == \
+        {"fig07_lr", "fig08_kmeans"}

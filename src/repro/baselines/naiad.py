@@ -69,7 +69,9 @@ class NaiadController(Controller):
         # runtime patch (Naiad has none)
         violations = full_validate(wts, self.directory)
         if violations:
-            patch = build_patch(violations, self.directory, self.object_sizes())
+            patch = build_patch(violations, self.directory,
+                                self.object_sizes(),
+                                patch_id=self.patch_cache.allocate_id())
             instance_id = self._next_instance
             self._next_instance += 1
             for worker in patch.workers():
@@ -110,7 +112,9 @@ class NaiadController(Controller):
         # data redistribution to the new placement, also at install time
         violations = full_validate(wts, self.directory)
         if violations:
-            patch = build_patch(violations, self.directory, self.object_sizes())
+            patch = build_patch(violations, self.directory,
+                                self.object_sizes(),
+                                patch_id=self.patch_cache.allocate_id())
             instance_id = self._next_instance
             self._next_instance += 1
             for worker in patch.workers():

@@ -95,11 +95,11 @@ class SparkController(Controller):
             self._stage_outstanding = run.outstanding
             return
 
-    def _on_command_complete(self, msg: P.CommandComplete) -> None:
-        super()._on_command_complete(msg)
+    def _complete_command(self, worker_id, cid, block_seq, duration, value):
+        super()._complete_command(worker_id, cid, block_seq, duration, value)
         if self._active is not None:
             run = self._active[0]
-            if msg.block_seq == run.seq:
+            if block_seq == run.seq:
                 self._stage_outstanding -= 1
                 if self._stage_outstanding <= 0:
                     if not self._active[1]:  # all stages dispatched and done

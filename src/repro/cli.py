@@ -7,13 +7,16 @@ Examples::
     python -m repro kmeans --workers 20 --real
     python -m repro water --workers 16 --scale 0.1
     python -m repro regression --workers 4
+    python -m repro --profile lr.prof lr --workers 100
+    python -m repro sweep --workload lr --seeds 8 --parallel 4
+    python -m repro perf --scale small
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+from typing import Optional, Tuple
 
 from .analysis import (
     iteration_breakdowns,
@@ -34,6 +37,7 @@ from .apps import (
 from .baselines import MPICluster, NaiadCluster, SparkCluster
 from .chaos import PROFILES, FaultPlan
 from .nimbus import NimbusCluster
+from .perf import SCALES
 
 SYSTEMS = {
     "nimbus": NimbusCluster,
@@ -159,12 +163,88 @@ def cmd_regression(args) -> None:
     _summary(cluster, "reg.optimize", skip=0)
 
 
+_SWEEP_APPS = {
+    "lr": (LRApp, LRSpec, "lr.iteration"),
+    "kmeans": (KMeansApp, KMeansSpec, "km.iteration"),
+}
+
+
+def _sweep_one(job: Tuple[str, int, int, int]) -> Tuple[int, float, float]:
+    """Run one (workload, workers, iterations, seed) combo.
+
+    Module-level so it pickles for ``multiprocessing.Pool``.
+    """
+    import time
+
+    workload, workers, iterations, seed = job
+    app_cls, spec_cls, block_id = _SWEEP_APPS[workload]
+    app = app_cls(spec_cls(num_workers=workers, iterations=iterations,
+                           seed=seed))
+    cluster = NimbusCluster(workers, app.program(blocking=False),
+                            registry=app.registry, seed=seed)
+    start = time.perf_counter()
+    cluster.run_until_finished(max_seconds=1e7)
+    wall = time.perf_counter() - start
+    iteration = mean_iteration_time(cluster.metrics, block_id,
+                                    skip=iterations // 2)
+    return seed, iteration, wall
+
+
+def cmd_sweep(args) -> None:
+    jobs = [(args.workload, args.workers, args.iterations, seed)
+            for seed in range(args.seeds)]
+    if args.parallel > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(args.parallel) as pool:
+            results = pool.map(_sweep_one, jobs)
+    else:
+        results = [_sweep_one(job) for job in jobs]
+    rows = [[str(seed), f"{iteration * 1000:.2f}", f"{wall:.2f}"]
+            for seed, iteration, wall in results]
+    print(render_table(
+        f"{args.workload} sweep: {args.workers} workers, "
+        f"{args.seeds} seeds, parallel={args.parallel}",
+        ["seed", "iteration (ms)", "wall (s)"], rows))
+    iterations = [iteration for _seed, iteration, _wall in results]
+    print(f"iteration time over seeds: min {min(iterations) * 1000:.2f} ms, "
+          f"mean {sum(iterations) / len(iterations) * 1000:.2f} ms, "
+          f"max {max(iterations) * 1000:.2f} ms")
+
+
+def cmd_perf(args) -> None:
+    from .perf import bench_path, run_harness, write_bench
+
+    report = run_harness(args.scale, microbench=not args.no_micro)
+    for workload, rows in report["workloads"].items():
+        print(render_table(
+            f"{workload} ({args.scale} scale)",
+            ["workers", "wall (s)", "events/s", "iteration (ms)"],
+            [[str(r["workers"]), f"{r['wall_seconds']:.3f}",
+              f"{r['events_per_second']:,}",
+              f"{r['mean_iteration_time'] * 1000:.2f}"] for r in rows]))
+        print(f"speedup vs pre-optimization baseline: "
+              f"{report['speedup_vs_baseline'][workload]:.2f}x")
+    if "microbenchmarks" in report:
+        print(render_table("control-plane microbenchmarks",
+                           ["hot path", "ops/sec"],
+                           [[name, f"{rate:,.0f}"] for name, rate in
+                            report["microbenchmarks"].items()]))
+    if not args.no_write:
+        path = bench_path()
+        write_bench(report, path)
+        print(f"wrote {path}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Execution-templates reproduction: run the paper's "
                     "workloads on a simulated cluster.",
     )
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="run the command under cProfile and write "
+                             "stats to PATH (inspect with pstats/snakeviz)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     lr = sub.add_parser("lr", help="logistic regression (Figs. 1/7a/8/9/10)")
@@ -203,12 +283,47 @@ def build_parser() -> argparse.ArgumentParser:
     reg.add_argument("--no-templates", action="store_true")
     reg.set_defaults(fn=cmd_regression)
 
+    sweep = sub.add_parser(
+        "sweep", help="run one workload across seeds (optionally in "
+                      "parallel worker processes)")
+    sweep.add_argument("--workload", choices=sorted(_SWEEP_APPS),
+                       default="lr")
+    sweep.add_argument("--workers", type=int, default=20)
+    sweep.add_argument("--iterations", type=int, default=12)
+    sweep.add_argument("--seeds", type=int, default=4,
+                       help="run seeds 0..N-1")
+    sweep.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="number of worker processes (1 = in-process)")
+    sweep.set_defaults(fn=cmd_sweep)
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock benchmark harness "
+                     "(updates BENCH_control_plane.json)")
+    perf.add_argument("--scale", choices=sorted(SCALES), default="paper")
+    perf.add_argument("--no-micro", action="store_true",
+                      help="skip the control-plane microbenchmarks")
+    perf.add_argument("--no-write", action="store_true",
+                      help="print the report without touching the BENCH file")
+    perf.set_defaults(fn=cmd_perf)
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            args.fn(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}")
+    else:
+        args.fn(args)
     return 0
 
 

@@ -15,6 +15,7 @@ compute a new patch and ship its full command list.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from ..nimbus.commands import CommandKind
@@ -33,12 +34,13 @@ class Patch:
     cache-validity checks and directory updates.
     """
 
-    _next_id = 0
-
     def __init__(self, copies: List[CopySpec],
-                 entries: Dict[int, List[TemplateEntry]]):
-        self.patch_id = Patch._next_id
-        Patch._next_id += 1
+                 entries: Dict[int, List[TemplateEntry]],
+                 patch_id: int = 0):
+        # ids are allocated by the owning controller's PatchCache so
+        # independent controllers (and test fixtures) never share a
+        # process-global sequence
+        self.patch_id = patch_id
         self.copies = list(copies)
         self.entries = entries
         self.installed_on: set = set()
@@ -70,6 +72,7 @@ def build_patch(
     violations: List[Tuple[int, int]],
     directory: ObjectDirectory,
     object_sizes: Dict[int, int],
+    patch_id: int = 0,
 ) -> Patch:
     """Compute a patch that repairs ``violations``.
 
@@ -105,7 +108,7 @@ def build_patch(
             index=recv_index, kind=CommandKind.RECV, write=(oid,),
             src_worker=src, size_bytes=size,
         ))
-    return Patch(copies, entries)
+    return Patch(copies, entries, patch_id)
 
 
 class PatchCache:
@@ -114,12 +117,31 @@ class PatchCache:
     Indexed by (what executed before, target template key). "We have found
     that the patch cache has a very high hit rate in practice because
     control flow, while dynamic, is typically quite narrow."
+
+    The cache is bounded: entries evict least-recently-used once
+    ``capacity`` is exceeded (a hit refreshes recency), and evictions are
+    reported to ``metrics`` under ``patch_cache.evictions``. The cache
+    also allocates patch ids for its owning controller — ids survive
+    :meth:`invalidate_all` because workers keep their installed-patch
+    caches across a controller-side invalidation, and a reused id would
+    collide with a patch a worker already ran.
     """
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[Hashable, Tuple[str, int]], Patch] = {}
+    def __init__(self, capacity: int = 256, metrics=None) -> None:
+        self._cache: "OrderedDict[Tuple[Hashable, Tuple[str, int]], Patch]" = (
+            OrderedDict())
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._metrics = metrics
+        self._next_patch_id = 1
+
+    def allocate_id(self) -> int:
+        """Allocate a patch id unique within this controller's lifetime."""
+        pid = self._next_patch_id
+        self._next_patch_id += 1
+        return pid
 
     def lookup(
         self,
@@ -129,12 +151,14 @@ class PatchCache:
         directory: ObjectDirectory,
     ) -> Optional[Patch]:
         """Return the cached patch if it exactly repairs ``violations``."""
-        patch = self._cache.get((prev_key, target_key))
+        key = (prev_key, target_key)
+        patch = self._cache.get(key)
         if (
             patch is not None
             and patch.violation_set == frozenset(violations)
             and patch.sources_still_valid(directory)
         ):
+            self._cache.move_to_end(key)
             self.hits += 1
             return patch
         self.misses += 1
@@ -142,9 +166,17 @@ class PatchCache:
 
     def store(self, prev_key: Hashable, target_key: Tuple[str, int],
               patch: Patch) -> None:
-        self._cache[(prev_key, target_key)] = patch
+        key = (prev_key, target_key)
+        self._cache[key] = patch
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            if self._metrics is not None:
+                self._metrics.incr("patch_cache.evictions")
 
     def invalidate_all(self) -> None:
+        """Drop every cached patch; the id sequence keeps advancing."""
         self._cache.clear()
 
     def __len__(self) -> int:

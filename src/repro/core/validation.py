@@ -14,16 +14,31 @@ Two paths exist, mirroring Table 2 of the paper:
 * **full validation** — otherwise every (worker, object) precondition pair
   is checked against the object directory (7.3 µs/task). Violations are
   handed to the patching machinery.
+
+Full validation is itself incremental in wall-clock terms: the directory
+stamps every object whose latest version or holder set changes, and each
+template set caches the outcome of its previous full validation together
+with the directory stamp it was computed at. A revalidation then re-checks
+only the *dirty intersection* — precondition objects touched since the
+cached pass — and merges with the cached violations. The first validation
+of a template (or a validation against a different directory) falls back
+to the brute-force scan over the precomputed precondition pairs. Setting
+``REPRO_VALIDATE_CROSS_CHECK=1`` (or :data:`CROSS_CHECK`) cross-checks
+every incremental result against brute force and raises on divergence.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple
 
 from ..nimbus.data import ObjectDirectory
 from .worker_template import WorkerTemplateSet
 
 Violation = Tuple[int, int]  # (worker, oid)
+
+#: debug flag: verify every incremental validation against brute force
+CROSS_CHECK = os.environ.get("REPRO_VALIDATE_CROSS_CHECK", "") not in ("", "0")
 
 
 class ValidationResult:
@@ -69,14 +84,55 @@ class ValidationState:
         return self.clean and self.last_key == key
 
 
+def brute_force_validate(template_set: WorkerTemplateSet,
+                         directory: ObjectDirectory) -> List[Violation]:
+    """Check every precondition pair; return the violations."""
+    is_fresh = directory.is_fresh
+    return [(worker, oid)
+            for worker, oid in template_set.precondition_pairs
+            if not is_fresh(oid, worker)]
+
+
 def full_validate(template_set: WorkerTemplateSet,
                   directory: ObjectDirectory) -> List[Violation]:
-    """Check every precondition pair; return the violations."""
-    violations: List[Violation] = []
-    for worker, oids in sorted(template_set.preconditions.items()):
-        for oid in sorted(oids):
-            if not directory.is_fresh(oid, worker):
-                violations.append((worker, oid))
+    """Check the template set's preconditions; return the violations.
+
+    Semantically identical to :func:`brute_force_validate`, but re-checks
+    only precondition objects the directory has marked dirty since this
+    template set's previous full validation (see module docstring).
+    """
+    cache = template_set.validation_cache
+    stamp = directory.stamp
+    if cache is None or cache[0] != directory.token:
+        violations = brute_force_validate(template_set, directory)
+        template_set.validation_cache = (
+            directory.token, stamp, frozenset(violations))
+        return violations
+
+    _token, last_stamp, cached = cache
+    stamp_of = directory.stamp_of
+    by_oid = template_set.precondition_workers
+    dirty = [oid for oid in by_oid if stamp_of(oid) > last_stamp]
+    if not dirty:
+        violations = sorted(cached)
+    else:
+        dirty_set = set(dirty)
+        merged = {pair for pair in cached if pair[1] not in dirty_set}
+        is_fresh = directory.is_fresh
+        for oid in dirty:
+            for worker in by_oid[oid]:
+                if not is_fresh(oid, worker):
+                    merged.add((worker, oid))
+        violations = sorted(merged)
+    template_set.validation_cache = (
+        directory.token, stamp, frozenset(violations))
+    if CROSS_CHECK:
+        reference = brute_force_validate(template_set, directory)
+        if violations != reference:
+            raise AssertionError(
+                f"incremental validation diverged for template "
+                f"{template_set.key}: incremental={violations} "
+                f"brute-force={reference}")
     return violations
 
 

@@ -121,6 +121,24 @@ class WorkerTemplateSet:
         self.installed_on: Set[int] = set()
         #: input objects relocated by the most recent plan_migration call
         self.last_relocations: List[int] = []
+        # validation fast-path structures, precomputed once at generation
+        # time so full validation never re-sorts the precondition map:
+        #: every (worker, oid) precondition pair, in check order
+        self.precondition_pairs: Tuple[Tuple[int, int], ...] = tuple(
+            (worker, oid)
+            for worker in sorted(preconditions)
+            for oid in sorted(preconditions[worker])
+        )
+        #: reverse index: oid -> workers that require it fresh locally
+        by_oid: Dict[int, List[int]] = {}
+        for worker, oid in self.precondition_pairs:
+            by_oid.setdefault(oid, []).append(worker)
+        self.precondition_workers: Dict[int, Tuple[int, ...]] = {
+            oid: tuple(workers) for oid, workers in by_oid.items()
+        }
+        #: incremental-validation cache managed by repro.core.validation:
+        #: (directory token, directory stamp, frozenset of violations)
+        self.validation_cache: Optional[Tuple[int, int, FrozenSet]] = None
         #: controller-template entry index -> (worker, local index)
         self.task_locations: Dict[int, Tuple[int, int]] = {
             entry.ct_index: (worker, entry.index)

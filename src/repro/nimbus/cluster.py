@@ -114,19 +114,20 @@ class NimbusCluster:
     def run_until_finished(self, max_seconds: float = 1e6) -> Job:
         """Run until the driver program completes.
 
-        Steps the simulation event by event so that background timers
-        (heartbeats, failure detection) do not keep it alive forever once
-        the program is done.
+        The driver halts the simulator the moment its program finishes, so
+        background timers (heartbeats, failure detection) do not keep the
+        run alive forever — without paying a per-event completion poll.
         """
+        self.driver.halt_on_finish = True
         self.driver.start()
-        while not self.job.finished:
-            if not self.sim.step():
-                raise RuntimeError(
-                    "simulation drained before the driver program finished "
-                    "(deadlocked dataflow?)"
-                )
-            if self.sim.now > max_seconds:
-                raise RuntimeError(
-                    f"driver program did not finish by t={max_seconds}s"
-                )
-        return self.job
+        self.sim.run(until=max_seconds)
+        if self.job.finished:
+            return self.job
+        if self.sim.peek_time() is None:
+            raise RuntimeError(
+                "simulation drained before the driver program finished "
+                "(deadlocked dataflow?)"
+            )
+        raise RuntimeError(
+            f"driver program did not finish by t={max_seconds}s"
+        )

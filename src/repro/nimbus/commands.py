@@ -56,6 +56,12 @@ class Command:
         "src_worker",
         "tag",
         "size_bytes",
+        # worker-local scheduling state, stamped by Worker._register:
+        # outstanding-dependency count and (instance_key, report) metadata.
+        # Kept on the command (not in side dicts) because the readiness
+        # cascade is the hottest path in the whole simulation.
+        "_rem",
+        "_wmeta",
     )
 
     def __init__(

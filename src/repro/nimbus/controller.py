@@ -121,7 +121,7 @@ class Controller(P.ReliableEndpoint, Actor):
         self.current_version: Dict[str, int] = {}
         self.assignments: Dict[Tuple[str, int], List[int]] = {}
         self.validation_state = ValidationState()
-        self.patch_cache = PatchCache()
+        self.patch_cache = PatchCache(metrics=metrics)
         self._prev_block_key: Hashable = "job-start"
         # (block_id, version) -> {worker: [EditOp]} pending application
         self.pending_edits: Dict[Tuple[str, int], Dict[int, list]] = {}
@@ -139,6 +139,13 @@ class Controller(P.ReliableEndpoint, Actor):
 
         # central-path copy tracking: oid -> {worker: providing cid}
         self._holder_cids: Dict[int, Dict[int, int]] = {}
+
+        #: while a central block run is being planned, dispatches coalesce
+        #: here (worker -> [(command, report)]) into one batch message per
+        #: worker instead of one message per command
+        self._dispatch_buffer: Optional[Dict[int, List[Tuple[Command, bool]]]] = None
+        #: memoized object_sizes(); dropped on define/undefine
+        self._object_sizes_cache: Optional[Dict[int, int]] = None
 
         #: driver request ids already acted on (idempotent receive: a
         #: redelivered submit/instantiate must not run the block twice)
@@ -187,6 +194,8 @@ class Controller(P.ReliableEndpoint, Actor):
     def handle(self, msg: Message) -> None:
         if isinstance(msg, P.CommandComplete):
             self._on_command_complete(msg)
+        elif isinstance(msg, P.CommandCompleteBatch):
+            self._on_command_complete_batch(msg)
         elif isinstance(msg, P.InstanceComplete):
             self._on_instance_complete(msg)
         elif isinstance(msg, P.SubmitBlock):
@@ -214,6 +223,7 @@ class Controller(P.ReliableEndpoint, Actor):
     # Object definition
     # ------------------------------------------------------------------
     def _on_define_objects(self, msg: P.DefineObjects) -> None:
+        self._object_sizes_cache = None
         per_worker: Dict[int, List[int]] = {}
         for oid, variable, partition, size, home in msg.objects:
             obj = LogicalObject(oid, variable, partition, size)
@@ -234,6 +244,7 @@ class Controller(P.ReliableEndpoint, Actor):
         the data lifecycle).
         """
         self.charge(self.costs.message_handling)
+        self._object_sizes_cache = None
         per_worker: Dict[int, List[int]] = {}
         for oid in msg.oids:
             if oid not in self.directory:
@@ -249,7 +260,13 @@ class Controller(P.ReliableEndpoint, Actor):
         self.send_reliable(self.driver, P.ObjectsReady())
 
     def object_sizes(self) -> Dict[int, int]:
-        return {obj.oid: obj.size_bytes for obj in self.directory.objects()}
+        # sizes are fixed at definition, so the map only changes when
+        # objects are defined or undefined (which drop the cache)
+        if self._object_sizes_cache is None:
+            self._object_sizes_cache = {
+                obj.oid: obj.size_bytes for obj in self.directory.objects()
+            }
+        return self._object_sizes_cache
 
     # ------------------------------------------------------------------
     # Central scheduling path
@@ -268,8 +285,31 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def _dispatch(self, run: _BlockRun, cmd: Command, report: bool = False) -> None:
         run.outstanding += 1
+        if self._dispatch_buffer is not None:
+            self._dispatch_buffer.setdefault(cmd.worker, []).append((cmd, report))
+            return
         self.send_reliable(self.workers[cmd.worker],
                   P.DispatchCommand(cmd, run.seq, report))
+
+    def _begin_dispatch_batch(self) -> None:
+        self._dispatch_buffer = {}
+
+    def _flush_dispatch_batch(self, run: _BlockRun) -> None:
+        """Send buffered dispatches, one coalesced message per worker.
+
+        Workers flush in first-dispatch order (deterministic: plain dict
+        insertion order), and each worker's command list preserves its
+        dispatch order, so worker-side conflict tracking resolves the
+        same dependencies as one-message-per-command dispatch.
+        """
+        buffer, self._dispatch_buffer = self._dispatch_buffer, None
+        for worker, items in buffer.items():
+            if len(items) == 1:
+                cmd, report = items[0]
+                msg = P.DispatchCommand(cmd, run.seq, report)
+            else:
+                msg = P.DispatchCommandBatch(items, run.seq)
+            self.send_reliable(self.workers[worker], msg)
 
     def _schedule_task_centrally(
         self,
@@ -331,6 +371,7 @@ class Controller(P.ReliableEndpoint, Actor):
             capture = False  # already installed (e.g. resubmitted after recovery)
         returns_rev = {oid: name for name, oid in block.returns.items()}
         assignment: List[int] = []
+        self._begin_dispatch_batch()
         for _stage_name, task in block.all_tasks():
             worker = self._assign_worker(task.read, task.write)
             assignment.append(worker)
@@ -345,6 +386,7 @@ class Controller(P.ReliableEndpoint, Actor):
                 run, task.function, task.read, task.write, worker,
                 task_params, returns_rev,
             )
+        self._flush_dispatch_batch(run)
         self.metrics.incr("tasks_scheduled", block.num_tasks)
         if capture:
             template = ControllerTemplate.from_block(block, assignment)
@@ -450,12 +492,14 @@ class Controller(P.ReliableEndpoint, Actor):
         run = self._new_run(template.block_id, template.num_tasks, "central",
                             request_id=request_id)
         returns_rev = {oid: name for name, oid in template.returns.items()}
+        self._begin_dispatch_batch()
         for entry in template.entries:
             self.charge(self.costs.central_schedule_per_task)
             self._schedule_task_centrally(
                 run, entry.function, entry.read, entry.write, entry.worker,
                 instance.param_of(entry), returns_rev,
             )
+        self._flush_dispatch_batch(run)
         self.metrics.incr("tasks_scheduled", template.num_tasks)
         self.validation_state.invalidate()
         self._prev_block_key = ("central", template.block_id)
@@ -531,7 +575,8 @@ class Controller(P.ReliableEndpoint, Actor):
                     patch.patch_id, cid_base, instance_id))
             self.metrics.incr("patch_cache_hits")
         else:
-            patch = build_patch(violations, self.directory, self.object_sizes())
+            patch = build_patch(violations, self.directory, self.object_sizes(),
+                                patch_id=self.patch_cache.allocate_id())
             self.charge(self.costs.patch_compute_per_copy * patch.num_copies())
             for worker in patch.workers():
                 cid_base = self._alloc_cids(patch.entry_count(worker))
@@ -570,7 +615,8 @@ class Controller(P.ReliableEndpoint, Actor):
                      if not self.directory.is_fresh(oid, dst)]
             if stale:
                 patch = build_patch(stale, self.directory,
-                                    self.object_sizes())
+                                    self.object_sizes(),
+                                    patch_id=self.patch_cache.allocate_id())
                 instance_id = self._next_instance
                 self._next_instance += 1
                 for worker in patch.workers():
@@ -674,15 +720,29 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def _on_command_complete(self, msg: P.CommandComplete) -> None:
         self.charge(self.costs.controller_completion_per_task)
-        run = self.runs.get(msg.block_seq)
+        self._complete_command(msg.worker_id, msg.cid, msg.block_seq,
+                               msg.duration, msg.value)
+
+    def _on_command_complete_batch(self, msg: P.CommandCompleteBatch) -> None:
+        # the per-completion cost is charged per item: coalescing saves
+        # messages and event overhead, not modeled controller work
+        self.charge(self.costs.controller_completion_per_task
+                    * len(msg.items))
+        worker_id = msg.worker_id
+        for cid, block_seq, duration, value, _oid in msg.items:
+            self._complete_command(worker_id, cid, block_seq, duration, value)
+
+    def _complete_command(self, worker_id: int, cid: int, block_seq: int,
+                          duration: float, value: Any) -> None:
+        run = self.runs.get(block_seq)
         if run is None:
             return  # dropped by recovery
         run.outstanding -= 1
-        run.compute_by_worker[msg.worker_id] = (
-            run.compute_by_worker.get(msg.worker_id, 0.0) + msg.duration)
-        if msg.cid in run.return_cids:
-            name, _oid = run.return_cids[msg.cid]
-            run.results[name] = msg.value
+        run.compute_by_worker[worker_id] = (
+            run.compute_by_worker.get(worker_id, 0.0) + duration)
+        if cid in run.return_cids:
+            name, _oid = run.return_cids[cid]
+            run.results[name] = value
         if run.outstanding == 0 and not run.open:
             self._finish_block(run)
 

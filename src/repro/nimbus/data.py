@@ -52,10 +52,36 @@ class ObjectDirectory:
     reasons about the future state its command stream will produce.
     """
 
+    #: process-wide id source distinguishing directory instances, so a
+    #: validation cache built against one directory is never trusted
+    #: against another (see :mod:`repro.core.validation`)
+    _next_token = 0
+
     def __init__(self) -> None:
         self._latest: Dict[ObjectId, int] = {}
         self._holders: Dict[ObjectId, Dict[WorkerId, int]] = {}
         self._objects: Dict[ObjectId, LogicalObject] = {}
+        # dirty tracking for incremental template validation: a global
+        # monotone stamp, advanced on every mutation, and the stamp at
+        # which each object last changed (latest version or holder set)
+        self._stamp: int = 0
+        self._stamps: Dict[ObjectId, int] = {}
+        ObjectDirectory._next_token += 1
+        self.token: int = ObjectDirectory._next_token
+
+    # -- dirty tracking ---------------------------------------------------
+    @property
+    def stamp(self) -> int:
+        """Monotone mutation counter; advances on every state change."""
+        return self._stamp
+
+    def stamp_of(self, oid: ObjectId) -> int:
+        """Stamp at which ``oid`` last changed (0 = never touched)."""
+        return self._stamps.get(oid, 0)
+
+    def _touch(self, oid: ObjectId) -> None:
+        self._stamp += 1
+        self._stamps[oid] = self._stamp
 
     # -- registration ---------------------------------------------------
     def register(self, obj: LogicalObject, home: WorkerId) -> None:
@@ -63,11 +89,13 @@ class ObjectDirectory:
         self._objects[obj.oid] = obj
         self._latest[obj.oid] = 0
         self._holders[obj.oid] = {home: 0}
+        self._touch(obj.oid)
 
     def unregister(self, oid: ObjectId) -> None:
         self._objects.pop(oid, None)
         self._latest.pop(oid, None)
         self._holders.pop(oid, None)
+        self._touch(oid)  # stamp survives so cached validations re-check
 
     def object(self, oid: ObjectId) -> LogicalObject:
         return self._objects[oid]
@@ -102,11 +130,13 @@ class ObjectDirectory:
         version = self._latest[oid] + 1
         self._latest[oid] = version
         self._holders[oid][worker] = version
+        self._touch(oid)
         return version
 
     def record_copy(self, oid: ObjectId, dst: WorkerId) -> None:
         """A copy delivers the latest version of ``oid`` to ``dst``."""
         self._holders[oid][dst] = self._latest[oid]
+        self._touch(oid)
 
     def apply_block_delta(self, oid: ObjectId, bumps: int,
                           final_holders: Iterable[WorkerId]) -> None:
@@ -115,11 +145,13 @@ class ObjectDirectory:
         latest = self._latest[oid] + bumps
         self._latest[oid] = latest
         self._holders[oid] = {w: latest for w in final_holders}
+        self._touch(oid)
 
     def evict_worker(self, worker: WorkerId) -> None:
         """Forget all replicas held by ``worker`` (worker failure/eviction)."""
-        for holders in self._holders.values():
-            holders.pop(worker, None)
+        for oid, holders in self._holders.items():
+            if holders.pop(worker, None) is not None:
+                self._touch(oid)
 
     # -- snapshot / restore (checkpointing) -------------------------------
     def snapshot(self) -> Tuple[Dict[ObjectId, int], Dict[ObjectId, Dict[WorkerId, int]]]:
@@ -133,8 +165,11 @@ class ObjectDirectory:
         snap: Tuple[Dict[ObjectId, int], Dict[ObjectId, Dict[WorkerId, int]]],
     ) -> None:
         latest, holders = snap
+        stale = set(self._holders) | set(holders)
         self._latest = dict(latest)
         self._holders = {oid: dict(h) for oid, h in holders.items()}
+        for oid in stale:
+            self._touch(oid)
 
 
 class ObjectStore:

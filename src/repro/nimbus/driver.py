@@ -120,6 +120,9 @@ class Driver(P.ReliableEndpoint, Actor):
         #: Enough to pipeline control plane against computation, without
         #: flooding a saturated controller's inbox arbitrarily deep.
         self.max_inflight = max_inflight
+        #: when set (by run_until_finished), program completion halts the
+        #: simulator so the caller need not single-step and poll
+        self.halt_on_finish = False
         self.job = Job(self)
         self.iteration_log: List[Tuple[int, float, float]] = []
 
@@ -167,6 +170,8 @@ class Driver(P.ReliableEndpoint, Actor):
             except StopIteration:
                 self.job.finished = True
                 self.job.finish_time = self.sim.now
+                if self.halt_on_finish:
+                    self.sim.halt()
                 return
             value = None
             kind = directive[0]

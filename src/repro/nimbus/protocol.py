@@ -16,6 +16,7 @@ parameter block).
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..sim.actor import Message
@@ -135,6 +136,22 @@ class DispatchCommand(Message):
         self.size_bytes = TASK_DESC_BYTES
 
 
+class DispatchCommandBatch(Message):
+    """Centrally dispatch a coalesced command list to one worker.
+
+    One message carries every command a block run schedules on that worker
+    (in dispatch order, so worker-side conflict tracking sees the same
+    sequence as individual dispatches). The wire size and the worker's
+    per-command enqueue cost are both charged per task — batching saves
+    messages and per-message control-plane work, not modeled task work.
+    """
+
+    def __init__(self, items: List[Tuple[Command, bool]], block_seq: int):
+        self.items = items  # [(command, report)]
+        self.block_seq = block_seq
+        self.size_bytes = TASK_DESC_BYTES * len(items)
+
+
 class InstallWorkerTemplate(Message):
     """Install the worker half of a worker template (§4.1)."""
 
@@ -241,6 +258,21 @@ class CommandComplete(Message):
         self.size_bytes = 64
 
 
+class CommandCompleteBatch(Message):
+    """Coalesced per-command completions (central path).
+
+    A worker's completions within one flush window ride in a single
+    message; the controller charges its per-completion cost for each item,
+    so only message and event overhead is saved — never modeled work.
+    """
+
+    def __init__(self, worker_id: int,
+                 items: List[Tuple[int, int, float, Any, Optional[int]]]):
+        self.worker_id = worker_id
+        self.items = items  # [(cid, block_seq, duration, value, oid)]
+        self.size_bytes = 64 * len(items)
+
+
 class InstanceComplete(Message):
     """Per-block-instance completion (template path): one message per worker."""
 
@@ -329,8 +361,6 @@ RELIABLE_RTO_MAX = 2.0
 #: give up after this many retransmissions (a destination unreachable for
 #: this long is dead; failure recovery, not the transport, takes over)
 RELIABLE_MAX_RETRIES = 30
-#: granularity of the per-endpoint retransmission scan
-RELIABLE_TICK = 0.05
 
 
 class ReliableEndpoint:
@@ -355,7 +385,14 @@ class ReliableEndpoint:
         self._rel_unacked: Dict[Tuple[str, int], list] = {}
         self._rel_recv_next: Dict[str, int] = {}  # src name -> next expected
         self._rel_held: Dict[str, Dict[int, Message]] = {}  # out-of-order
-        self._rel_tick_pending = False
+        # retransmission timer wheel: a min-heap of (deadline, dst name,
+        # seq) with lazy deletion — an entry is stale when the message was
+        # acked (key gone) or rescheduled (deadline mismatch). One engine
+        # timer is armed at the earliest live deadline; a full ack cancels
+        # it, so fault-free steady state runs zero retransmission events.
+        self._rel_wheel: List[Tuple[float, str, int]] = []
+        self._rel_wake = None  # pending engine Event, if armed
+        self._rel_wake_time = float("inf")
 
     # -- sender side ---------------------------------------------------
     def send_reliable(self, dst, msg: Message) -> None:
@@ -367,34 +404,50 @@ class ReliableEndpoint:
         self._rel_send_seq[dst.name] = seq
         msg.rel_seq = seq
         msg.rel_src = self.name
+        deadline = self.sim.now + RELIABLE_RTO
         self._rel_unacked[(dst.name, seq)] = [
-            dst, msg, 0, self.sim.now + RELIABLE_RTO, RELIABLE_RTO,
+            dst, msg, 0, deadline, RELIABLE_RTO,
         ]
         self.send(dst, msg)
-        self._rel_schedule_tick()
+        heapq.heappush(self._rel_wheel, (deadline, dst.name, seq))
+        self._rel_arm(deadline)
 
-    def _rel_schedule_tick(self) -> None:
-        if not self._rel_tick_pending and self._rel_unacked:
-            self._rel_tick_pending = True
-            # scheduled directly on the engine: retransmission is transport
-            # work and must not queue behind the application control thread
-            self.sim.schedule(RELIABLE_TICK, self._rel_tick)
+    def _rel_arm(self, deadline: float) -> None:
+        """Make sure the wake timer fires no later than ``deadline``."""
+        if deadline >= self._rel_wake_time:
+            return
+        if self._rel_wake is not None:
+            self._rel_wake.cancel()
+        # scheduled directly on the engine: retransmission is transport
+        # work and must not queue behind the application control thread
+        self._rel_wake = self.sim.schedule_at(deadline, self._rel_on_wake)
+        self._rel_wake_time = deadline
 
-    def _rel_tick(self) -> None:
-        self._rel_tick_pending = False
+    def _rel_disarm(self) -> None:
+        if self._rel_wake is not None:
+            self._rel_wake.cancel()
+            self._rel_wake = None
+        self._rel_wake_time = float("inf")
+        self._rel_wheel.clear()
+
+    def _rel_on_wake(self) -> None:
+        self._rel_wake = None
+        self._rel_wake_time = float("inf")
         if not self._rel_alive():
             self._rel_unacked.clear()  # a crashed endpoint retransmits nothing
+            self._rel_wheel.clear()
             return
         now = self.sim.now
-        for key in list(self._rel_unacked):
-            entry = self._rel_unacked.get(key)
-            if entry is None:
-                continue
-            dst, msg, attempts, deadline, rto = entry
-            if now + 1e-12 < deadline:
-                continue
+        wheel = self._rel_wheel
+        unacked = self._rel_unacked
+        while wheel and wheel[0][0] <= now + 1e-12:
+            deadline, dst_name, seq = heapq.heappop(wheel)
+            entry = unacked.get((dst_name, seq))
+            if entry is None or entry[3] != deadline:
+                continue  # stale: acked, abandoned, or already rescheduled
+            dst, msg, attempts, _deadline, rto = entry
             if attempts >= RELIABLE_MAX_RETRIES or not self._rel_should_retry(dst):
-                del self._rel_unacked[key]
+                del unacked[(dst_name, seq)]
                 self._rel_incr("protocol.abandoned")
                 continue
             entry[2] = attempts + 1
@@ -402,7 +455,19 @@ class ReliableEndpoint:
             entry[3] = now + entry[4]
             self.send(dst, msg)
             self._rel_incr("protocol.retries")
-        self._rel_schedule_tick()
+            heapq.heappush(wheel, (entry[3], dst_name, seq))
+        if not unacked:
+            wheel.clear()
+            return
+        # drop acked/rescheduled heads so the next wake is armed at a
+        # *live* deadline — otherwise each stale entry costs one wake
+        while wheel:
+            deadline, dst_name, seq = wheel[0]
+            entry = unacked.get((dst_name, seq))
+            if entry is not None and entry[3] == deadline:
+                self._rel_arm(deadline)
+                return
+            heapq.heappop(wheel)
 
     def _rel_should_retry(self, dst) -> bool:
         """Whether retransmitting to ``dst`` is still worthwhile."""
@@ -414,8 +479,10 @@ class ReliableEndpoint:
             return  # crashed endpoints neither ack nor process anything
         if isinstance(msg, Ack):
             self._rel_unacked.pop((msg.acker, msg.seq), None)
+            if not self._rel_unacked:
+                self._rel_disarm()  # nothing pending: no wake, empty wheel
             return
-        seq = getattr(msg, "rel_seq", None)
+        seq = msg.rel_seq
         if seq is None:
             super().deliver(msg)
             return

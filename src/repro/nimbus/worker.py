@@ -105,11 +105,10 @@ class Worker(P.ReliableEndpoint, Actor):
         self.store = ObjectStore()
         self.peers: Dict[int, "Worker"] = {}  # attached by the cluster
 
-        # command queue state
+        # command queue state; per-command dependency counts and metadata
+        # live on the Command objects themselves (``_rem``/``_wmeta``)
         self._pending: Dict[int, Command] = {}
-        self._remaining: Dict[int, int] = {}
         self._dependents: Dict[int, List[int]] = {}
-        self._meta: Dict[int, Tuple] = {}  # cid -> (instance_key, report)
         self._ready_tasks = deque()
         self._free_slots: int = slots
         self._last_writer: Dict[int, int] = {}
@@ -131,6 +130,15 @@ class Worker(P.ReliableEndpoint, Actor):
         #: instantiations redelivered across a recovery stay discarded
         self._seen_instances: set = set()
 
+        # central-path completion coalescing: completions buffer here and
+        # flush as one message after a short window. Tasks sharing a
+        # worker's slots finish in microsecond-spaced bursts, so a small
+        # window collapses a burst into one controller message without
+        # perceptibly delaying block completion (window ≪ task duration).
+        self._completion_buffer: List[Tuple[int, int, float, Any, Optional[int]]] = []
+        self._completion_flush_pending = False
+        self.completion_flush_window = 1e-3
+
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
         self.tasks_executed = 0
@@ -148,6 +156,8 @@ class Worker(P.ReliableEndpoint, Actor):
             self._on_data(msg)
         elif isinstance(msg, P.DispatchCommand):
             self._on_dispatch(msg)
+        elif isinstance(msg, P.DispatchCommandBatch):
+            self._on_dispatch_batch(msg)
         elif isinstance(msg, P.InstantiateWorkerTemplate):
             self._on_instantiate_template(msg)
         elif isinstance(msg, P.InstallWorkerTemplate):
@@ -178,6 +188,19 @@ class Worker(P.ReliableEndpoint, Actor):
         self.charge(self.costs.worker_enqueue_per_command)
         meta = (("central", msg.block_seq), msg.report)
         self._enqueue(msg.command, meta)
+
+    def _on_dispatch_batch(self, msg: P.DispatchCommandBatch) -> None:
+        """Coalesced central dispatch: enqueue cost stays per command.
+
+        Commands resolve sequentially (not via :meth:`_enqueue_batch`):
+        a central stream carries no cached before sets, so the conflict
+        tracker must see each command exactly as it would have arrived
+        in one-message-per-command dispatch.
+        """
+        self.charge(self.costs.worker_enqueue_per_command * len(msg.items))
+        scope = ("central", msg.block_seq)
+        for cmd, report in msg.items:
+            self._enqueue(cmd, (scope, report))
 
     # ------------------------------------------------------------------
     # Template install / instantiate
@@ -291,35 +314,46 @@ class Worker(P.ReliableEndpoint, Actor):
 
     def _register(self, cmd: Command, meta: Tuple) -> None:
         self._pending[cmd.cid] = cmd
-        self._meta[cmd.cid] = meta
-        self._remaining[cmd.cid] = -1  # not yet resolved
+        cmd._wmeta = meta
+        cmd._rem = -1  # not yet resolved
 
     def _resolve(self, cmd: Command, exclude=frozenset()) -> None:
+        # hot path: one call per command ever run; locals bound up front
         cid = cmd.cid
+        pending = self._pending
+        last_writer = self._last_writer
+        readers_since = self._readers_since
+        read, write = cmd.read, cmd.write
         deps = set()
         for dep in cmd.before:
-            if dep in self._pending and dep != cid:
+            if dep != cid and dep in pending:
                 deps.add(dep)
-        for oid in cmd.read:
-            writer = self._last_writer.get(oid)
-            if (writer is not None and writer in self._pending
-                    and writer != cid and writer not in exclude):
+        for oid in read:
+            writer = last_writer.get(oid)
+            if (writer is not None and writer != cid and writer in pending
+                    and writer not in exclude):
                 deps.add(writer)
-        for oid in cmd.write:
-            writer = self._last_writer.get(oid)
-            if (writer is not None and writer in self._pending
-                    and writer != cid and writer not in exclude):
+        for oid in write:
+            writer = last_writer.get(oid)
+            if (writer is not None and writer != cid and writer in pending
+                    and writer not in exclude):
                 deps.add(writer)
-            for reader in self._readers_since.get(oid, ()):
-                if (reader in self._pending and reader != cid
-                        and reader not in exclude):
-                    deps.add(reader)
+            readers = readers_since.get(oid)
+            if readers:
+                for reader in readers:
+                    if (reader != cid and reader in pending
+                            and reader not in exclude):
+                        deps.add(reader)
         # update the conflict tracker
-        for oid in cmd.read:
-            self._readers_since.setdefault(oid, []).append(cid)
-        for oid in cmd.write:
-            self._last_writer[oid] = cid
-            self._readers_since[oid] = []
+        for oid in read:
+            readers = readers_since.get(oid)
+            if readers is None:
+                readers_since[oid] = [cid]
+            else:
+                readers.append(cid)
+        for oid in write:
+            last_writer[oid] = cid
+            readers_since[oid] = []
 
         remaining = len(deps)
         if cmd.kind == CommandKind.RECV:
@@ -328,7 +362,7 @@ class Worker(P.ReliableEndpoint, Actor):
             else:
                 self._expected[cmd.tag] = cid
                 remaining += 1
-        self._remaining[cid] = remaining
+        cmd._rem = remaining
         for dep in deps:
             self._dependents.setdefault(dep, []).append(cid)
         if remaining == 0:
@@ -341,9 +375,10 @@ class Worker(P.ReliableEndpoint, Actor):
             self._dec(cid)
 
     def _dec(self, cid: int) -> None:
-        self._remaining[cid] -= 1
-        if self._remaining[cid] == 0:
-            self._on_ready(self._pending[cid])
+        cmd = self._pending[cid]
+        cmd._rem -= 1
+        if cmd._rem == 0:
+            self._on_ready(cmd)
 
     def _on_ready(self, cmd: Command) -> None:
         kind = cmd.kind
@@ -368,20 +403,21 @@ class Worker(P.ReliableEndpoint, Actor):
     # Execution
     # ------------------------------------------------------------------
     def _maybe_start_tasks(self) -> None:
-        while self._free_slots > 0 and self._ready_tasks:
-            cmd = self._ready_tasks.popleft()
+        ready = self._ready_tasks
+        while self._free_slots > 0 and ready:
+            cmd = ready.popleft()
             self._free_slots -= 1
             fn = self.registry.get(cmd.function)
             duration = fn.duration_of(cmd.params, self.worker_id)
             duration *= self.duration_scale
-            epoch = self._epoch
-            self.call_later(duration, self._task_finished, cmd, duration, epoch)
+            self.call_later(duration, self._task_finished, cmd, fn, duration,
+                            self._epoch)
 
-    def _task_finished(self, cmd: Command, duration: float, epoch: int) -> None:
+    def _task_finished(self, cmd: Command, fn, duration: float,
+                       epoch: int) -> None:
         if epoch != self._epoch:
             return  # halted since this task started
         self.charge(self.costs.worker_complete_per_command + self.callback_overhead)
-        fn = self.registry.get(cmd.function)
         if fn.fn is not None:
             ctx = TaskContext(self.store, cmd.params, self.worker_id,
                               cmd.read, cmd.write)
@@ -404,12 +440,17 @@ class Worker(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     def _complete(self, cmd: Command, duration: float) -> None:
         cid = cmd.cid
-        del self._pending[cid]
-        del self._remaining[cid]
-        meta_key, report = self._meta.pop(cid)
-        for dep in self._dependents.pop(cid, ()):
-            if dep in self._remaining:
-                self._dec(dep)
+        pending = self._pending
+        del pending[cid]
+        meta_key, report = cmd._wmeta
+        deps = self._dependents.pop(cid, None)
+        if deps:
+            for dep in deps:
+                dep_cmd = pending.get(dep)
+                if dep_cmd is not None:
+                    dep_cmd._rem = left = dep_cmd._rem - 1
+                    if left == 0:
+                        self._on_ready(dep_cmd)
         value = None
         if report and cmd.write:
             value = self.store.get(cmd.write[0])
@@ -418,9 +459,11 @@ class Worker(P.ReliableEndpoint, Actor):
         scope, key = meta_key
         if scope == "central":
             oid = cmd.write[0] if (report and cmd.write) else None
-            self.send_reliable(self.controller, P.CommandComplete(
-                self.worker_id, cid, key, duration, value, oid,
-            ))
+            self._completion_buffer.append((cid, key, duration, value, oid))
+            if not self._completion_flush_pending:
+                self._completion_flush_pending = True
+                self.call_later(self.completion_flush_window,
+                                self._flush_completions)
         else:
             record = self._instances[key]
             record.remaining -= 1
@@ -431,8 +474,32 @@ class Worker(P.ReliableEndpoint, Actor):
             if record.remaining == 0:
                 self._finish_instance(record)
 
+    def _flush_completions(self) -> None:
+        """Send buffered completions now.
+
+        Called from the timer, and synchronously before any *other*
+        controller-bound message leaves this worker: buffered completions
+        must not be overtaken on the in-order channel (e.g. a later run's
+        InstanceComplete beating an earlier run's final CommandComplete
+        would complete blocks out of request order at the driver).
+        """
+        self._completion_flush_pending = False
+        if self._dead or not self._completion_buffer:
+            self._completion_buffer = []
+            return
+        items, self._completion_buffer = self._completion_buffer, []
+        if len(items) == 1:
+            cid, block_seq, duration, value, oid = items[0]
+            self.send_reliable(self.controller, P.CommandComplete(
+                self.worker_id, cid, block_seq, duration, value, oid))
+        else:
+            self.send_reliable(self.controller,
+                               P.CommandCompleteBatch(self.worker_id, items))
+
     def _finish_instance(self, record: _InstanceRecord) -> None:
         del self._instances[(record.block_id, record.instance_id)]
+        if self._completion_buffer:
+            self._flush_completions()
         self.send_reliable(self.controller, P.InstanceComplete(
             self.worker_id, record.block_id, record.instance_id,
             record.block_seq, record.compute_time, record.values,
@@ -452,6 +519,8 @@ class Worker(P.ReliableEndpoint, Actor):
         self.call_later(delay, self._ack_checkpoint, msg.checkpoint_id)
 
     def _ack_checkpoint(self, checkpoint_id: int) -> None:
+        if self._completion_buffer:
+            self._flush_completions()
         self.send_reliable(self.controller,
                            P.CheckpointAck(self.worker_id, checkpoint_id))
 
@@ -463,6 +532,8 @@ class Worker(P.ReliableEndpoint, Actor):
         self.call_later(delay, self._ack_load, msg.checkpoint_id)
 
     def _ack_load(self, checkpoint_id: int) -> None:
+        if self._completion_buffer:
+            self._flush_completions()
         self.send_reliable(self.controller,
                            P.LoadAck(self.worker_id, checkpoint_id))
 
@@ -470,9 +541,7 @@ class Worker(P.ReliableEndpoint, Actor):
         """Terminate ongoing tasks, flush queues, respond (§4.4)."""
         self._epoch += 1
         self._pending.clear()
-        self._remaining.clear()
         self._dependents.clear()
-        self._meta.clear()
         self._ready_tasks.clear()
         self._free_slots = self.slots
         self._last_writer.clear()
@@ -480,6 +549,7 @@ class Worker(P.ReliableEndpoint, Actor):
         self._data_buffer.clear()
         self._expected.clear()
         self._instances.clear()
+        self._completion_buffer.clear()  # stale: their runs were abandoned
         self.send_reliable(self.controller, P.HaltAck(self.worker_id))
 
     # ------------------------------------------------------------------

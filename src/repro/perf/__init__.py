@@ -1,0 +1,20 @@
+"""Wall-clock performance harness for the control-plane reproduction.
+
+Everything else in this repository measures *virtual* time — what the
+simulated cluster would do. This package measures what the simulator
+itself costs in real seconds, so control-plane optimizations can claim
+wall-clock speedups with receipts (`BENCH_control_plane.json`) and CI can
+catch regressions.
+"""
+
+from .harness import (  # noqa: F401
+    BENCH_FILENAME,
+    SCALES,
+    SCHEMA_VERSION,
+    bench_path,
+    load_bench,
+    run_harness,
+    run_microbenchmarks,
+    timed_workload,
+    write_bench,
+)

@@ -25,9 +25,15 @@ class Message:
 
     ``size_bytes`` is used by the network's bandwidth model. Subclasses are
     plain data holders; handlers dispatch on type.
+
+    ``rel_seq``/``rel_src`` are stamped onto instances by the reliable
+    channel layer; the class-level ``None`` makes the unreliable-message
+    check in :meth:`ReliableEndpoint.deliver` a plain attribute load.
     """
 
     size_bytes: int = 256
+    rel_seq = None
+    rel_src = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -87,7 +93,10 @@ class Actor:
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` on this actor's control thread after ``delay``."""
-        self.sim.schedule(delay, self.deliver, _Callback(fn, args))
+        sim = self.sim
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        sim.schedule_at(sim.now + delay, self.deliver, _Callback(fn, args))
 
     # ------------------------------------------------------------------
     # Control-thread accounting
@@ -104,22 +113,26 @@ class Actor:
         return len(self._inbox)
 
     def _drain(self) -> None:
-        if not self._inbox:
+        inbox = self._inbox
+        if not inbox:
             self._draining = False
             return
-        msg = self._inbox.popleft()
+        msg = inbox.popleft()
+        sim = self.sim
         self._charged = 0.0
-        self._handler_start = self.sim.now
-        if isinstance(msg, _Callback):
+        start = self._handler_start = sim.now
+        if type(msg) is _Callback:
             msg.fn(*msg.args)
         else:
             self.handle(msg)
         cost = self._charged
         self._charged = 0.0
         self.busy_time += cost
-        self._busy_until = self._handler_start + cost
-        if self._inbox:
-            self.sim.schedule_at(max(self.sim.now, self._busy_until), self._drain)
+        busy_until = self._busy_until = start + cost
+        if inbox:
+            now = sim.now
+            sim.schedule_at(busy_until if busy_until > now else now,
+                            self._drain)
         else:
             self._draining = False
 

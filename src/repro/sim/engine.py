@@ -6,15 +6,23 @@ engine so that control-plane costs measured in microseconds can be modeled
 faithfully for clusters of 100 workers without needing the wall-clock
 performance of the paper's C++ implementation.
 
-Events are ``(time, seq, callback, args)`` tuples. ``seq`` is a monotonically
-increasing tiebreaker so simultaneous events run in schedule order, which
-keeps every simulation fully deterministic.
+The heap stores ``(time, seq, event)`` tuples so ordering is resolved by
+C-level tuple comparison; ``seq`` is a monotonically increasing tiebreaker
+so simultaneous events run in schedule order, which keeps every simulation
+fully deterministic. Two wall-clock fast paths keep the loop cheap:
+
+* events scheduled at exactly the current virtual time bypass the heap and
+  go to a FIFO *zero-delay queue* (the dominant case for actor control
+  threads draining their inboxes);
+* cancellation is lazy — a cancelled event stays queued and is skipped on
+  pop, with a counter so the no-cancellation common case never scans.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -24,7 +32,7 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback. Cancellation is supported via :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
         self.time = time
@@ -32,10 +40,14 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from running; cancelled events are skipped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -60,10 +72,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
+        #: events due at exactly ``now`` (FIFO; all hold time == self._now)
+        self._zero: Deque[Event] = deque()
         self._seq: int = 0
         self._events_run: int = 0
         self._running: bool = False
+        self._halted: bool = False
+        #: lazily-deleted (cancelled but still queued) event count
+        self._cancelled: int = 0
 
     @property
     def now(self) -> float:
@@ -89,26 +106,92 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        event._sim = self
+        if time == self._now:
+            # zero-delay fast path: no heap insertion, plain FIFO. The
+            # invariant that every queued entry has time == self._now holds
+            # because the clock cannot advance while this queue is nonempty
+            # (its entries are always among the earliest pending events).
+            self._zero.append(event)
+        else:
+            heapq.heappush(self._heap, (time, self._seq, event))
         return event
 
+    def schedule_many(
+        self, delay: float, calls: Iterable[Tuple]
+    ) -> List[Event]:
+        """Batch-schedule callbacks ``delay`` seconds from now.
+
+        ``calls`` yields ``(fn, *args)`` tuples. All events share one due
+        time and run in iteration order. Returns the events in order.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self._now + delay
+        events: List[Event] = []
+        seq = self._seq
+        zero = time == self._now
+        heap = self._heap
+        for fn, *args in calls:
+            seq += 1
+            event = Event(time, seq, fn, tuple(args))
+            event._sim = self
+            if zero:
+                self._zero.append(event)
+            else:
+                heapq.heappush(heap, (time, seq, event))
+            events.append(event)
+        self._seq = seq
+        return events
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns.
+
+        Lets an event handler (e.g. the driver finishing its program) end
+        the run immediately instead of forcing the caller to single-step
+        the simulation and poll for completion after every event.
+        """
+        self._halted = True
+
+    def _purge_cancelled_heads(self) -> None:
+        """Drop lazily-deleted events from both queue heads."""
+        zero = self._zero
+        while zero and zero[0].cancelled:
+            zero.popleft()
+            self._cancelled -= 1
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+
     def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        """Time of the next pending event, or ``None`` if none remain."""
+        if self._cancelled:
+            self._purge_cancelled_heads()
+        if self._zero:
+            return self._now
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Run the next event. Returns ``False`` when no events remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_run += 1
-            event.fn(*event.args)
-            return True
-        return False
+        if self._cancelled:
+            self._purge_cancelled_heads()
+        zero, heap = self._zero, self._heap
+        if zero:
+            # a zero-queue entry is due at self._now; the heap head can tie
+            # only at the same time, in which case the smaller seq wins
+            if heap and heap[0][0] == self._now and heap[0][1] < zero[0].seq:
+                event = heapq.heappop(heap)[2]
+            else:
+                event = zero.popleft()
+        elif heap:
+            event = heapq.heappop(heap)[2]
+        else:
+            return False
+        self._now = event.time
+        self._events_run += 1
+        event.fn(*event.args)
+        return True
 
     def run(
         self,
@@ -124,20 +207,58 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        self._halted = False
         budget = max_events
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    return
-                if budget is not None:
+            if budget is None:
+                # fast path: peek_time + step fused into one loop body so
+                # the dominant no-budget case pays one head inspection and
+                # zero extra calls per event
+                zero, heap = self._zero, self._heap
+                pop = heapq.heappop
+                while True:
+                    if self._cancelled:
+                        self._purge_cancelled_heads()
+                    if zero:
+                        now = self._now
+                        if until is not None and now > until:
+                            # the pending zero-delay work is due *after* the
+                            # deadline; leave it queued, never rewind the clock
+                            return
+                        head = heap[0] if heap else None
+                        if (head is not None and head[0] == now
+                                and head[1] < zero[0].seq):
+                            event = pop(heap)[2]
+                        else:
+                            event = zero.popleft()
+                    elif heap:
+                        if until is not None and heap[0][0] > until:
+                            if until > self._now:
+                                self._now = until
+                            return
+                        event = pop(heap)[2]
+                    else:
+                        break
+                    self._now = event.time
+                    self._events_run += 1
+                    event.fn(*event.args)
+                    if self._halted:
+                        return
+            else:
+                while True:
+                    next_time = self.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        if until > self._now:
+                            self._now = until
+                        return
                     if budget <= 0:
                         return
                     budget -= 1
-                self.step()
+                    self.step()
+                    if self._halted:
+                        return
             if until is not None and until > self._now:
                 self._now = until
         finally:

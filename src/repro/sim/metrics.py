@@ -75,8 +75,18 @@ class Metrics:
         return interval
 
     def end(self, name: str, time: float, key: Any = None, **labels: Any) -> Interval:
-        """Close the open interval with the same (name, key)."""
-        interval = self._open.pop((name, key))
+        """Close the open interval with the same (name, key).
+
+        Raises :class:`KeyError` with a descriptive message when no such
+        interval is open (ended twice, or never begun).
+        """
+        interval = self._open.pop((name, key), None)
+        if interval is None:
+            open_now = sorted(map(repr, self._open)) or ["<none>"]
+            raise KeyError(
+                f"no open interval {name!r} with key {key!r} to end at "
+                f"t={time!r} (ended twice, or never begun?); currently "
+                f"open: {', '.join(open_now)}")
         interval.end = time
         interval.labels.update(labels)
         self.intervals[name].append(interval)

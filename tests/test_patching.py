@@ -64,11 +64,25 @@ def test_sources_still_valid_tracks_writes():
     assert not patch.sources_still_valid(directory)
 
 
-def test_patch_ids_unique():
+def test_patch_ids_allocated_by_cache():
     directory = make_directory()
-    a = build_patch([(1, 10)], directory, SIZES)
-    b = build_patch([(1, 10)], directory, SIZES)
+    cache = PatchCache()
+    a = build_patch([(1, 10)], directory, SIZES, patch_id=cache.allocate_id())
+    b = build_patch([(1, 10)], directory, SIZES, patch_id=cache.allocate_id())
     assert a.patch_id != b.patch_id
+    # the sequence belongs to the cache, not the process: a second cache
+    # (another controller) may reuse ids without colliding
+    other = PatchCache()
+    assert other.allocate_id() == 1
+
+
+def test_patch_id_sequence_survives_invalidate_all():
+    cache = PatchCache()
+    before = cache.allocate_id()
+    cache.invalidate_all()
+    # workers cache installed patches by id across controller-side
+    # invalidation, so ids must never be reissued
+    assert cache.allocate_id() > before
 
 
 class TestPatchCache:
@@ -106,6 +120,40 @@ class TestPatchCache:
         directory.record_write(10, 4)
         # worker 1 still violates, but the cached source is stale
         assert cache.lookup("prev", ("b", 0), violations, directory) is None
+
+    def test_lru_eviction_at_capacity(self):
+        directory = make_directory()
+        cache = PatchCache(capacity=2)
+        violations = [(1, 10)]
+        for prev in ("a", "b", "c"):
+            cache.store(prev, ("b", 0), build_patch(violations, directory, SIZES))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # "a" was least recently used and is gone; "b" and "c" survive
+        assert cache.lookup("a", ("b", 0), violations, directory) is None
+        assert cache.lookup("b", ("b", 0), violations, directory) is not None
+        assert cache.lookup("c", ("b", 0), violations, directory) is not None
+
+    def test_lru_hit_refreshes_recency(self):
+        directory = make_directory()
+        cache = PatchCache(capacity=2)
+        violations = [(1, 10)]
+        cache.store("a", ("b", 0), build_patch(violations, directory, SIZES))
+        cache.store("b", ("b", 0), build_patch(violations, directory, SIZES))
+        cache.lookup("a", ("b", 0), violations, directory)  # refresh "a"
+        cache.store("c", ("b", 0), build_patch(violations, directory, SIZES))
+        assert cache.lookup("a", ("b", 0), violations, directory) is not None
+        assert cache.lookup("b", ("b", 0), violations, directory) is None
+
+    def test_eviction_reported_to_metrics(self):
+        from repro.sim.metrics import Metrics
+
+        metrics = Metrics()
+        directory = make_directory()
+        cache = PatchCache(capacity=1, metrics=metrics)
+        cache.store("a", ("b", 0), build_patch([(1, 10)], directory, SIZES))
+        cache.store("b", ("b", 0), build_patch([(1, 10)], directory, SIZES))
+        assert metrics.count("patch_cache.evictions") == 1
 
     def test_invalidate_all(self):
         directory = make_directory()

@@ -97,6 +97,7 @@ def test_chaos_runs_match_fault_free_across_20_seeds():
     assert base_values == expected_values()
 
     total_dups = 0.0
+    total_retries = 0.0
     for chaos_seed in range(20):
         plan = FaultPlan.from_profile("lossy", seed=chaos_seed)
         cluster = run_cluster(chaos_plan=plan)
@@ -107,9 +108,34 @@ def test_chaos_runs_match_fault_free_across_20_seeds():
             f"chaos seed {chaos_seed} changed control-plane decisions"
         # ... while the transport provably did real work
         assert cluster.metrics.count("chaos.drops") > 0
-        assert cluster.metrics.count("protocol.retries") > 0
+        # retries and duplicate discards are asserted across the sweep, not
+        # per seed: dispatch/completion batching shrank the message surface
+        # enough that a given seed's few drops can all land on redundant
+        # acks (every arrival is acked, including chaos duplicates), which
+        # need no retransmission
+        total_retries += cluster.metrics.count("protocol.retries")
         total_dups += cluster.metrics.count("protocol.dup_discards")
+    assert total_retries > 0
     assert total_dups > 0
+
+
+def test_incremental_validation_cross_checked_across_20_chaos_seeds(
+        monkeypatch):
+    """Property: across 20 chaos seeds, every incremental ``full_validate``
+    the controller performs agrees with the brute-force precondition scan.
+
+    ``CROSS_CHECK`` makes the validation layer itself raise on any
+    divergence, so simply completing the sweep is the assertion; the
+    counter check proves the cross-checked path actually ran.
+    """
+    from repro.core import validation
+
+    monkeypatch.setattr(validation, "CROSS_CHECK", True)
+    for chaos_seed in range(20):
+        plan = FaultPlan.from_profile("lossy", seed=chaos_seed)
+        cluster = run_cluster(chaos_plan=plan)
+        assert cluster.metrics.count("full_validations") >= 1, \
+            f"chaos seed {chaos_seed} never exercised full validation"
 
 
 def test_chaos_plus_crash_sweep_matches_reference_across_20_seeds():

@@ -117,6 +117,112 @@ def test_peek_time_skips_cancelled():
     assert sim.peek_time() == pytest.approx(0.5)
 
 
+def test_schedule_many_preserves_iteration_order():
+    sim = Simulator()
+    seen = []
+    events = sim.schedule_many(0.5, ((seen.append, i) for i in range(6)))
+    assert len(events) == 6
+    assert all(e.time == pytest.approx(0.5) for e in events)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+
+
+def test_schedule_many_zero_delay_interleaves_with_schedule():
+    # zero-delay events (FIFO deque) and a same-time heap event must still
+    # run in global schedule order — the seq tie-break crosses both queues
+    sim = Simulator()
+    seen = []
+    sim.schedule_many(0.0, ((seen.append, "batch0"), (seen.append, "batch1")))
+    sim.schedule(0.0, seen.append, "heap")
+    sim.run()
+    assert seen == ["batch0", "batch1", "heap"]
+
+
+def test_schedule_many_events_are_cancellable():
+    sim = Simulator()
+    seen = []
+    events = sim.schedule_many(0.1, ((seen.append, i) for i in range(4)))
+    events[1].cancel()
+    events[3].cancel()
+    sim.run()
+    assert seen == [0, 2]
+
+
+def test_schedule_many_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_many(-0.1, [(lambda: None,)])
+
+
+def test_halt_stops_run_immediately():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.1, seen.append, "first")
+    sim.schedule(0.2, lambda: (seen.append("stop"), sim.halt()))
+    sim.schedule(0.3, seen.append, "never")
+    sim.run()
+    assert seen == ["first", "stop"]
+    assert sim.now == pytest.approx(0.2)
+    # the remaining event survives the halt and runs on the next call
+    sim.run()
+    assert seen == ["first", "stop", "never"]
+
+
+def test_halt_stops_zero_delay_drain():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.0, lambda: (seen.append("a"), sim.halt()))
+    sim.schedule(0.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a"]
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_halt_respected_under_max_events_budget():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.1, lambda: (seen.append(0), sim.halt()))
+    for i in range(1, 5):
+        sim.schedule(0.1 * (i + 1), seen.append, i)
+    sim.run(max_events=10)
+    assert seen == [0]
+
+
+def test_halt_does_not_leak_into_next_run():
+    sim = Simulator()
+    sim.schedule(0.1, sim.halt)
+    sim.run()
+    seen = []
+    sim.schedule(0.1, seen.append, "later")
+    sim.run()  # a fresh run() clears the stale halt flag
+    assert seen == ["later"]
+
+
+def test_run_until_with_pending_zero_delay_past_deadline():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()  # now == 1.0
+    seen = []
+    sim.schedule(0.0, seen.append, "due-now")
+    sim.run(until=0.5)  # deadline already behind now: nothing may run
+    assert seen == []
+    assert sim.now == pytest.approx(1.0)  # the clock must never rewind
+    sim.run(until=1.0)
+    assert seen == ["due-now"]
+
+
+def test_run_until_behind_now_never_rewinds_clock():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(2.0, lambda: None)  # heap (non-zero-delay) pending work
+    sim.run(until=0.25)
+    assert sim.now == pytest.approx(1.0)
+    sim.run(until=0.25, max_events=5)
+    assert sim.now == pytest.approx(1.0)
+
+
 def test_determinism_across_identical_runs():
     def run_once():
         sim = Simulator()

@@ -4,6 +4,7 @@ from repro.core.controller_template import ControllerTemplate
 from repro.core.spec import BlockSpec, LogicalTask, StageSpec
 from repro.core.validation import (
     ValidationState,
+    brute_force_validate,
     full_validate,
     validate,
 )
@@ -43,6 +44,35 @@ def test_full_validate_detects_stale_replica():
     directory.record_copy(10, 1)
     directory.record_write(10, 0)  # new version only on worker 0
     assert full_validate(wts, directory) == [(1, 10)]
+
+
+def test_incremental_matches_brute_force_across_20_random_seeds():
+    """Property: the dirty-set incremental path in ``full_validate`` is
+    semantically identical to the brute-force precondition scan, under
+    random interleavings of writes, copies, evictions, and validations
+    (which exercise cold cache, empty dirty set, and partial dirty set)."""
+    import random
+
+    workers = (0, 1)
+    oids = (1, 2, 3, 4, 10)
+    for seed in range(20):
+        rng = random.Random(seed)
+        wts, directory = make_setup()
+        for _step in range(60):
+            op = rng.randrange(3)
+            if op == 0:
+                directory.record_write(rng.choice(oids), rng.choice(workers))
+            elif op == 1:
+                directory.record_copy(rng.choice(oids), rng.choice(workers))
+            else:
+                directory.evict_worker(rng.choice(workers))
+            # validate on a random cadence so the dirty set between
+            # consecutive validations varies from empty to everything
+            if rng.random() < 0.5:
+                assert full_validate(wts, directory) == \
+                    brute_force_validate(wts, directory), f"seed {seed}"
+        assert full_validate(wts, directory) == \
+            brute_force_validate(wts, directory), f"seed {seed}"
 
 
 def test_violations_sorted_deterministically():

@@ -23,6 +23,10 @@ class FakeController(Actor):
     def handle(self, msg):
         if isinstance(msg, P.CommandComplete):
             self.completions.append(msg)
+        elif isinstance(msg, P.CommandCompleteBatch):
+            for cid, seq, duration, value, oid in msg.items:
+                self.completions.append(P.CommandComplete(
+                    msg.worker_id, cid, seq, duration, value, oid))
         elif isinstance(msg, P.InstanceComplete):
             self.instances.append(msg)
 
