@@ -50,6 +50,12 @@ GOLDEN_ITERATION = {
         50: 0.1366962276923105,
         100: 0.07660007384614964,
     },
+    "patch_rotation": {
+        10: 0.007280121600000076,
+        20: 0.00828037759999963,
+        50: 0.011281145600001144,
+        100: 0.016282425600003925,
+    },
 }
 
 #: control-plane decision counters are scale-keyed only through task counts
@@ -62,6 +68,17 @@ GOLDEN_DECISIONS = {
     "patch_cache_hits": 0.0,
 }
 
+#: the rotation loop has one task per partition per block (4 per worker),
+#: validates every steady round, patches once, and hits the cache after
+GOLDEN_ROTATION_TASKS = {10: 1120.0, 20: 2240.0, 50: 5600.0, 100: 11200.0}
+GOLDEN_ROTATION_DECISIONS = {
+    "auto_validations": 0.0,
+    "full_validations": 22.0,
+    "template_instantiations": 26.0,
+    "patches_computed": 1.0,
+    "patch_cache_hits": 10.0,
+}
+
 
 @pytest.fixture(scope="module")
 def report():
@@ -70,16 +87,27 @@ def report():
 
 def test_virtual_results_are_bit_identical(report):
     for workload, rows in report["workloads"].items():
+        rotation = workload == "patch_rotation"
+        tasks = GOLDEN_ROTATION_TASKS if rotation else GOLDEN_TASKS
+        decisions = GOLDEN_ROTATION_DECISIONS if rotation else GOLDEN_DECISIONS
         for row in rows:
             n = row["workers"]
             assert row["mean_iteration_time"] == \
                 GOLDEN_ITERATION[workload][n], \
                 f"{workload}@{n}: virtual iteration time drifted"
             counters = dict(row["counters"])
-            assert counters.pop("tasks_executed") == GOLDEN_TASKS[n]
-            assert counters.pop("tasks_scheduled") == GOLDEN_TASKS[n]
-            assert counters == GOLDEN_DECISIONS, \
+            assert counters.pop("tasks_executed") == tasks[n]
+            assert counters.pop("tasks_scheduled") == tasks[n]
+            assert counters == decisions, \
                 f"{workload}@{n}: control-plane decisions changed"
+
+
+def test_patch_cache_gets_real_coverage(report):
+    """The rotation workload exists to exercise the patch cache: one
+    computed patch, then a hit for every later steady-state round."""
+    for row in report["workloads"]["patch_rotation"]:
+        assert row["counters"]["patch_cache_hits"] > 0
+        assert row["counters"]["patches_computed"] == 1.0
 
 
 def test_faster_than_seed_baseline(report):
@@ -99,6 +127,8 @@ def test_no_wall_clock_regression_vs_committed(report):
         pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
     before = committed["scales"][SCALE]["workloads"]
     for workload, rows in report["workloads"].items():
+        if workload not in before:
+            continue  # newly added workload; no committed numbers yet
         committed_total = sum(r["wall_seconds"] for r in before[workload])
         current_total = sum(r["wall_seconds"] for r in rows)
         assert current_total <= 2.0 * committed_total, (
@@ -111,17 +141,27 @@ def test_microbenchmarks_report_positive_rates(report):
     micro = report["microbenchmarks"]
     assert set(micro) == {
         "validate_ops_per_sec", "patch_ops_per_sec",
-        "instantiate_ops_per_sec", "engine_events_per_sec",
+        "instantiate_ops_per_sec", "instantiate_compiled_ops_per_sec",
+        "engine_events_per_sec",
     }
     for name, rate in micro.items():
         assert rate > 0, name
+
+
+def test_allocations_recorded_per_workload(report):
+    assert report["allocations"].keys() == report["workloads"].keys()
+    for workload, alloc in report["allocations"].items():
+        assert alloc["peak_bytes"] > 0, workload
+        assert 0 <= alloc["retained_bytes"] <= alloc["peak_bytes"], workload
 
 
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 1
+    assert doc["schema_version"] == 2
     assert SCALE in doc["scales"]
     assert doc["scales"][SCALE]["workloads"].keys() == \
-        {"fig07_lr", "fig08_kmeans"}
+        {"fig07_lr", "fig08_kmeans", "patch_rotation"}
+    assert doc["scales"][SCALE]["allocations"].keys() == \
+        doc["scales"][SCALE]["workloads"].keys()

@@ -7,6 +7,9 @@
   (Figure 11): triply nested data-dependent loops, 21 stages, 40+ variables.
 * :class:`RegressionApp` — the nested training-regression of Figure 3,
   whose inner/outer loop boundary exercises patching and the patch cache.
+* :class:`RotationApp` — rotating producer/consumer loop whose every
+  round violates the consume template's preconditions identically: the
+  deterministic patch-cache exerciser used by the perf harness.
 """
 
 from .datasets import (
@@ -19,6 +22,7 @@ from .kmeans import KMEANS_CPP_RATE, KMeansApp, KMeansSpec
 from .lr import CPP_RATE, MLLIB_RATE, LRApp, LRSpec
 from .reductions import ReductionTree
 from .regression import RegressionApp, RegressionSpec
+from .rotation import RotationApp, RotationSpec
 from .water import WaterApp, WaterSpec
 
 __all__ = [
@@ -32,6 +36,8 @@ __all__ = [
     "ReductionTree",
     "RegressionApp",
     "RegressionSpec",
+    "RotationApp",
+    "RotationSpec",
     "Variables",
     "WaterApp",
     "WaterSpec",

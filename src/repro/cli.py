@@ -31,6 +31,8 @@ from .apps import (
     LRSpec,
     RegressionApp,
     RegressionSpec,
+    RotationApp,
+    RotationSpec,
     WaterApp,
     WaterSpec,
 )
@@ -60,12 +62,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="seed for the chaos fault schedule "
                              "(same seed => identical faults)")
+    parser.add_argument("--patch-cache-cap", type=int, default=256,
+                        metavar="N",
+                        help="LRU capacity of the controller patch cache "
+                             "(default 256); nimbus only")
 
 
 def _cluster_kwargs(args) -> dict:
     kwargs = {"seed": args.seed}
     if args.system == "nimbus" and getattr(args, "no_templates", False):
         kwargs["use_templates"] = False
+    if args.system == "nimbus":
+        kwargs["patch_cache_cap"] = args.patch_cache_cap
     if getattr(args, "chaos_profile", None):
         if args.system != "nimbus":
             raise SystemExit(
@@ -148,6 +156,22 @@ def cmd_water(args) -> None:
     _summary(cluster, "water.cg", skip=0)
 
 
+def cmd_rotation(args) -> None:
+    if args.system != "nimbus":
+        raise SystemExit("rotation requires --system nimbus (it measures "
+                         "the patch cache, a Nimbus-only mechanism)")
+    spec = RotationSpec(num_workers=args.workers,
+                        iterations=args.iterations, seed=args.seed)
+    app = RotationApp(spec)
+    cluster = NimbusCluster(args.workers, app.program(),
+                            registry=app.registry, **_cluster_kwargs(args))
+    cluster.run_until_finished(max_seconds=1e7)
+    print(f"patch rotation: {spec.num_partitions} partitions, "
+          f"{args.iterations} rounds, "
+          f"patch cache cap {args.patch_cache_cap}")
+    _summary(cluster, "rot.consume", skip=args.iterations // 2)
+
+
 def cmd_regression(args) -> None:
     spec = RegressionSpec(num_workers=args.workers, seed=args.seed)
     app = RegressionApp(spec)
@@ -223,13 +247,22 @@ def cmd_perf(args) -> None:
             [[str(r["workers"]), f"{r['wall_seconds']:.3f}",
               f"{r['events_per_second']:,}",
               f"{r['mean_iteration_time'] * 1000:.2f}"] for r in rows]))
-        print(f"speedup vs pre-optimization baseline: "
-              f"{report['speedup_vs_baseline'][workload]:.2f}x")
+        speedup = report["speedup_vs_baseline"].get(workload)
+        if speedup is not None:
+            print(f"speedup vs pre-optimization baseline: {speedup:.2f}x")
+        alloc = report["allocations"][workload]
+        print(f"allocations @ {alloc['workers']} workers: "
+              f"peak {alloc['peak_bytes'] / 1e6:.1f} MB, "
+              f"retained {alloc['retained_bytes'] / 1e6:.1f} MB")
     if "microbenchmarks" in report:
         print(render_table("control-plane microbenchmarks",
                            ["hot path", "ops/sec"],
                            [[name, f"{rate:,.0f}"] for name, rate in
                             report["microbenchmarks"].items()]))
+        alloc = report["instantiate_allocations"]
+        print("per-instantiation allocations: "
+              f"interpreted {alloc['interpreted_bytes_per_instantiation']:,} B, "
+              f"compiled {alloc['compiled_bytes_per_instantiation']:,} B")
     if not args.no_write:
         path = bench_path()
         write_bench(report, path)
@@ -282,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(reg)
     reg.add_argument("--no-templates", action="store_true")
     reg.set_defaults(fn=cmd_regression)
+
+    rot = sub.add_parser(
+        "rotation", help="rotating producer/consumer loop (patch-cache "
+                         "exerciser; every round validates, patches once, "
+                         "then hits the cache)")
+    _add_common(rot)
+    rot.add_argument("--iterations", type=int, default=14)
+    rot.set_defaults(fn=cmd_rotation)
 
     sweep = sub.add_parser(
         "sweep", help="run one workload across seeds (optionally in "

@@ -39,6 +39,13 @@ class EditOp:
         self.index = index
         self.entry = entry
 
+    def clone(self) -> "EditOp":
+        """Deep-enough copy for applying the op to a second entry array
+        (the worker half) without sharing TemplateEntry objects with the
+        first (the controller half)."""
+        entry = self.entry.clone() if self.entry is not None else None
+        return EditOp(self.op, self.index, entry)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<EditOp {self.op} @{self.index}>"
 

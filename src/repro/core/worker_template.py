@@ -90,8 +90,7 @@ class DirectoryDelta:
         self.final_holders = {k: frozenset(v) for k, v in final_holders.items()}
 
     def apply(self, directory) -> None:
-        for oid, bumps in self.write_counts.items():
-            directory.apply_block_delta(oid, bumps, self.final_holders[oid])
+        directory.apply_block_deltas(self.write_counts, self.final_holders)
 
 
 class WorkerTemplateSet:
@@ -359,6 +358,9 @@ class WorkerHalf:
         self.version = version
         self.entries: List[Optional[TemplateEntry]] = list(entries)
         self.reports = set(reports)
+        #: lazily compiled execution plan (repro.core.compiled); dropped
+        #: whenever the entry array is edited
+        self._plan = None
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -375,3 +377,33 @@ class WorkerHalf:
         return instantiate_entries(
             self.entries, worker_id, instance_id, cid_base, params,
         )
+
+    # ------------------------------------------------------------------
+    # Compiled execution plan (repro.core.compiled)
+    # ------------------------------------------------------------------
+    def compiled_plan(self):
+        """The compiled plan for the current entry array, built on first
+        use and cached until :meth:`apply_edit_ops` invalidates it."""
+        plan = self._plan
+        if plan is None:
+            from .compiled import compile_plan
+            self._plan = plan = compile_plan(self.entries, self.reports)
+        return plan
+
+    def invalidate_plan(self) -> None:
+        self._plan = None
+
+    def apply_edit_ops(self, ops) -> None:
+        """Apply edit ops to this half and invalidate the compiled plan.
+
+        Op entries are cloned before insertion: the controller half applied
+        the same op objects to *its* entry arrays, and a shared
+        TemplateEntry mutated by a later edit on one half must not silently
+        alias state cached on the other.
+        """
+        from .edits import apply_edits
+        apply_edits(self.entries, [op.clone() for op in ops])
+        self.reports = {
+            e.index for e in self.entries if e is not None and e.report
+        }
+        self._plan = None

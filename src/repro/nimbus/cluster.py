@@ -39,6 +39,8 @@ class NimbusCluster:
         heartbeat_timeout: float = 3.0,
         straggler_scales: Optional[Dict[int, float]] = None,
         chaos_plan=None,
+        use_compiled: Optional[bool] = None,
+        patch_cache_cap: int = 256,
     ):
         self.sim = Simulator()
         self.metrics = Metrics()
@@ -62,6 +64,7 @@ class NimbusCluster:
             slots_per_worker=slots_per_worker,
             checkpoint_every=checkpoint_every,
             heartbeat_timeout=heartbeat_timeout,
+            patch_cache_cap=patch_cache_cap,
         )
         self.network.attach(self.controller)
 
@@ -72,6 +75,7 @@ class NimbusCluster:
                 self.sim, wid, self.controller, self.registry, self.costs,
                 self.metrics, self.storage, slots=slots_per_worker,
                 duration_scale=straggler_scales.get(wid, 1.0),
+                use_compiled=use_compiled,
             )
             self.network.attach(worker)
             self.workers[wid] = worker

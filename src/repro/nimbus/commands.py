@@ -62,6 +62,15 @@ class Command:
         # cascade is the hottest path in the whole simulation.
         "_rem",
         "_wmeta",
+        # compiled-plan state (repro.core.compiled): intra-batch successor
+        # commands (direct references), batch position, owning arena, and
+        # the resolved TaskFunction. _csucc is None for commands built
+        # outside an arena, which is how Worker._complete distinguishes
+        # the compiled cascade from the interpreted one.
+        "_csucc",
+        "_cpos",
+        "_carena",
+        "_cfn",
     )
 
     def __init__(
@@ -91,6 +100,8 @@ class Command:
         self.src_worker = src_worker  # RECV only
         self.tag = tag  # SEND/RECV matching tag
         self.size_bytes = size_bytes  # payload size for copies
+        self._csucc = None
+        self._cfn = None
 
     def conflicts(self) -> Tuple[Tuple[ObjectId, ...], Tuple[ObjectId, ...]]:
         """(reads, writes) used for object-conflict dependency tracking."""

@@ -95,6 +95,7 @@ class Controller(P.ReliableEndpoint, Actor):
         checkpoint_every: Optional[int] = None,
         heartbeat_timeout: float = 3.0,
         edit_threshold: float = 0.25,
+        patch_cache_cap: int = 256,
     ):
         super().__init__(sim, "controller")
         self.costs = costs
@@ -121,7 +122,8 @@ class Controller(P.ReliableEndpoint, Actor):
         self.current_version: Dict[str, int] = {}
         self.assignments: Dict[Tuple[str, int], List[int]] = {}
         self.validation_state = ValidationState()
-        self.patch_cache = PatchCache(metrics=metrics)
+        self.patch_cache = PatchCache(capacity=patch_cache_cap,
+                                      metrics=metrics)
         self._prev_block_key: Hashable = "job-start"
         # (block_id, version) -> {worker: [EditOp]} pending application
         self.pending_edits: Dict[Tuple[str, int], Dict[int, list]] = {}
@@ -285,8 +287,12 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def _dispatch(self, run: _BlockRun, cmd: Command, report: bool = False) -> None:
         run.outstanding += 1
-        if self._dispatch_buffer is not None:
-            self._dispatch_buffer.setdefault(cmd.worker, []).append((cmd, report))
+        buffer = self._dispatch_buffer
+        if buffer is not None:
+            lst = buffer.get(cmd.worker)
+            if lst is None:
+                lst = buffer[cmd.worker] = []
+            lst.append((cmd, report))
             return
         self.send_reliable(self.workers[cmd.worker],
                   P.DispatchCommand(cmd, run.seq, report))
@@ -328,10 +334,11 @@ class Controller(P.ReliableEndpoint, Actor):
         holder-command map are updated as the plan is built.
         """
         sizes = None
+        directory = self.directory
+        fresh = directory.is_fresh
         for oid in read:
-            holders = self._holder_cids.setdefault(oid, {})
-            if not self.directory.is_fresh(oid, worker):
-                src = min(self.directory.holders_of_latest(oid))
+            if not fresh(oid, worker):
+                src = min(directory.holders_of_latest(oid))
                 if sizes is None:
                     sizes = self.object_sizes()
                 send_cid = self._alloc_cids(1)
@@ -342,7 +349,10 @@ class Controller(P.ReliableEndpoint, Actor):
                 )
                 self._dispatch(run, send)
                 self._dispatch(run, recv)
-                self.directory.record_copy(oid, worker)
+                directory.record_copy(oid, worker)
+                holders = self._holder_cids.get(oid)
+                if holders is None:
+                    holders = self._holder_cids[oid] = {}
                 holders[worker] = recv_cid
         cid = self._alloc_cids(1)
         task = make_task(cid, worker, function, read, write, params=params)
@@ -442,9 +452,11 @@ class Controller(P.ReliableEndpoint, Actor):
         template = self.templates[block_id]
         phase = self.phase[block_id]
         n = template.num_tasks
-        # parameter fill of the controller template (Table 2, row 1)
+        # parameter fill of the controller template (Table 2, row 1).
+        # Pooled: the instance is a transient view consumed inside this
+        # handler, so one object per template suffices.
         self.charge(self.costs.instantiate_controller_template_per_task * n)
-        instance = template.instantiate(msg.task_id_base, msg.params)
+        instance = template.instantiate_pooled(msg.task_id_base, msg.params)
         self.metrics.incr("template_instantiations")
 
         if phase == self.PHASE_CT_READY:

@@ -130,13 +130,15 @@ class ObjectDirectory:
         version = self._latest[oid] + 1
         self._latest[oid] = version
         self._holders[oid][worker] = version
-        self._touch(oid)
+        self._stamp = stamp = self._stamp + 1
+        self._stamps[oid] = stamp
         return version
 
     def record_copy(self, oid: ObjectId, dst: WorkerId) -> None:
         """A copy delivers the latest version of ``oid`` to ``dst``."""
         self._holders[oid][dst] = self._latest[oid]
-        self._touch(oid)
+        self._stamp = stamp = self._stamp + 1
+        self._stamps[oid] = stamp
 
     def apply_block_delta(self, oid: ObjectId, bumps: int,
                           final_holders: Iterable[WorkerId]) -> None:
@@ -146,6 +148,28 @@ class ObjectDirectory:
         self._latest[oid] = latest
         self._holders[oid] = {w: latest for w in final_holders}
         self._touch(oid)
+
+    def apply_block_deltas(self, write_counts: Dict[ObjectId, int],
+                           final_holders: Dict[ObjectId, Iterable[WorkerId]],
+                           ) -> None:
+        """Bulk :meth:`apply_block_delta` over a whole template delta.
+
+        One call per block submission instead of one per written object —
+        a templated block touches thousands of objects every round, so the
+        per-object method dispatch is worth hoisting.
+        """
+        latest_d = self._latest
+        holders_d = self._holders
+        stamps = self._stamps
+        stamp = self._stamp
+        fromkeys = dict.fromkeys
+        for oid, bumps in write_counts.items():
+            latest = latest_d[oid] + bumps
+            latest_d[oid] = latest
+            holders_d[oid] = fromkeys(final_holders[oid], latest)
+            stamp += 1
+            stamps[oid] = stamp
+        self._stamp = stamp
 
     def evict_worker(self, worker: WorkerId) -> None:
         """Forget all replicas held by ``worker`` (worker failure/eviction)."""

@@ -404,7 +404,7 @@ class ReliableEndpoint:
         self._rel_send_seq[dst.name] = seq
         msg.rel_seq = seq
         msg.rel_src = self.name
-        deadline = self.sim.now + RELIABLE_RTO
+        deadline = self.sim._now + RELIABLE_RTO
         self._rel_unacked[(dst.name, seq)] = [
             dst, msg, 0, deadline, RELIABLE_RTO,
         ]
@@ -437,7 +437,7 @@ class ReliableEndpoint:
             self._rel_unacked.clear()  # a crashed endpoint retransmits nothing
             self._rel_wheel.clear()
             return
-        now = self.sim.now
+        now = self.sim._now
         wheel = self._rel_wheel
         unacked = self._rel_unacked
         while wheel and wheel[0][0] <= now + 1e-12:
@@ -513,6 +513,11 @@ class ReliableEndpoint:
 
     def _rel_alive(self) -> bool:
         return True
+
+    def _timer_alive(self) -> bool:
+        # timer callbacks on a crashed endpoint are dropped, exactly as
+        # their _Callback delivery would have been
+        return self._rel_alive()
 
     def _rel_incr(self, name: str) -> None:
         if self._rel_metrics is not None:

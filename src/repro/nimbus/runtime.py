@@ -54,7 +54,7 @@ class TaskContext:
 class TaskFunction:
     """A named application function plus its duration model."""
 
-    __slots__ = ("name", "fn", "_duration")
+    __slots__ = ("name", "fn", "_duration", "_const_dur")
 
     def __init__(
         self,
@@ -65,6 +65,8 @@ class TaskFunction:
         self.name = name
         self.fn = fn
         self._duration = duration
+        #: constant durations resolved once; None means "call the model"
+        self._const_dur = None if callable(duration) else float(duration)
 
     def duration_of(self, params: Any, worker_id: int) -> float:
         if callable(self._duration):

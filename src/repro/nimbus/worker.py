@@ -19,12 +19,14 @@ heartbeats for failure detection.
 from __future__ import annotations
 
 import copy
+import heapq
 from collections import deque
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from ..core import compiled as compiled_mod
+from ..core.compiled import CommandArena, CompiledPlan, compile_plan
 from ..core.worker_template import WorkerHalf, instantiate_entries
-from ..core.edits import apply_edits
-from ..sim.actor import Actor, Message
+from ..sim.actor import Actor, Message, _Callback
 from ..sim.engine import Simulator
 from ..sim.metrics import Metrics
 from .commands import Command, CommandKind
@@ -91,6 +93,7 @@ class Worker(P.ReliableEndpoint, Actor):
         storage: DurableStorage,
         slots: int = 8,
         duration_scale: float = 1.0,
+        use_compiled: Optional[bool] = None,
     ):
         super().__init__(sim, f"worker-{worker_id}")
         self._init_reliable(metrics)
@@ -124,6 +127,16 @@ class Worker(P.ReliableEndpoint, Actor):
         #: every (patch_id, instance_id) ever run; guards redelivery
         self._ran_patches: set = set()
 
+        # compiled execution plans (repro.core.compiled): instantiations
+        # replay a pooled command arena instead of rebuilding command
+        # objects. Off via REPRO_COMPILED_TEMPLATES=0 or the constructor.
+        self._use_compiled = (compiled_mod.enabled_default()
+                              if use_compiled is None else bool(use_compiled))
+        self._cross_check = compiled_mod.cross_check_enabled()
+        self._patch_plans: Dict[int, CompiledPlan] = {}
+        self._live_arenas: set = set()
+        self.plans_compiled = 0  # introspection: plan (re)compilations
+
         # instances
         self._instances: Dict[Hashable, _InstanceRecord] = {}
         #: every (block_id, instance_id) ever started — survives halts so
@@ -142,6 +155,8 @@ class Worker(P.ReliableEndpoint, Actor):
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
         self.tasks_executed = 0
+        #: per-completion control-thread charge, hoisted off the cost table
+        self._complete_cost = costs.worker_complete_per_command
         #: extra control-thread cost charged per task completion; used by
         #: the Naiad baseline to model its per-callback overhead (§5.3)
         self.callback_overhead = 0.0
@@ -186,7 +201,7 @@ class Worker(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     def _on_dispatch(self, msg: P.DispatchCommand) -> None:
         self.charge(self.costs.worker_enqueue_per_command)
-        meta = (("central", msg.block_seq), msg.report)
+        meta = (("central", msg.block_seq), msg.report, None)
         self._enqueue(msg.command, meta)
 
     def _on_dispatch_batch(self, msg: P.DispatchCommandBatch) -> None:
@@ -200,7 +215,7 @@ class Worker(P.ReliableEndpoint, Actor):
         self.charge(self.costs.worker_enqueue_per_command * len(msg.items))
         scope = ("central", msg.block_seq)
         for cmd, report in msg.items:
-            self._enqueue(cmd, (scope, report))
+            self._enqueue(cmd, (scope, report, None))
 
     # ------------------------------------------------------------------
     # Template install / instantiate
@@ -233,11 +248,11 @@ class Worker(P.ReliableEndpoint, Actor):
         self._seen_instances.add(key)
         half = self._templates[(msg.block_id, msg.version)]
         if msg.edits:
-            apply_edits(half.entries, msg.edits)
-            half.reports = {
-                e.index for e in half.entries if e is not None and e.report
-            }
+            half.apply_edit_ops(msg.edits)
             self.charge(self.costs.worker_edit_per_task * len(msg.edits))
+        if self._use_compiled:
+            self._instantiate_compiled(half, msg, key)
+            return
         commands = half.instantiate(
             self.worker_id, msg.instance_id, msg.cid_base, msg.params,
         )
@@ -248,7 +263,6 @@ class Worker(P.ReliableEndpoint, Actor):
             msg.cid_base + idx for idx in half.reports
             if half.entries[idx] is not None
         }
-        key = (msg.block_id, msg.instance_id)
         record = _InstanceRecord(
             msg.block_id, msg.instance_id, msg.block_seq,
             remaining=len(commands), report_cids=report_cids,
@@ -256,9 +270,185 @@ class Worker(P.ReliableEndpoint, Actor):
         self._instances[key] = record
         meta_key = ("instance", key)
         self._enqueue_batch(
-            commands, [(meta_key, cmd.cid in report_cids) for cmd in commands])
+            commands,
+            [(meta_key, cmd.cid in report_cids, record) for cmd in commands])
         if not commands:
             self._finish_instance(record)
+
+    def _instantiate_compiled(self, half: WorkerHalf,
+                              msg: P.InstantiateWorkerTemplate, key) -> None:
+        """Compiled fast path: replay a pooled command arena.
+
+        Equivalent to ``half.instantiate`` + ``_enqueue_batch`` — same
+        charge, same resolution order, same synchronous completions — but
+        touching only per-instance fields of reused Command objects.
+        """
+        if half._plan is None:
+            self.plans_compiled += 1
+        plan = half.compiled_plan()
+        m = plan.m
+        self.charge(self.costs.worker_instantiate_per_command * m)
+        cid_base = msg.cid_base
+        report_cids = {cid_base + plan.index[p] for p in plan.report_positions}
+        record = _InstanceRecord(
+            msg.block_id, msg.instance_id, msg.block_seq,
+            remaining=m, report_cids=report_cids,
+        )
+        self._instances[key] = record
+        if m == 0:
+            self._finish_instance(record)
+            return
+        meta_key = ("instance", key)
+        arena = self._run_compiled_plan(
+            plan, cid_base, msg.instance_id, msg.params,
+            (meta_key, False, record), (meta_key, True, record),
+        )
+        if self._cross_check:
+            self._cross_check_compiled(
+                half.entries, half.reports, plan, arena,
+                msg.instance_id, cid_base, msg.params,
+            )
+
+    def _run_compiled_plan(self, plan: CompiledPlan, cid_base: int,
+                           instance_id, params, wm0, wm1) -> CommandArena:
+        """Register, resolve, and sweep one instantiation of ``plan``.
+
+        Mirrors ``_enqueue_batch`` exactly: external dependencies are read
+        from the pre-batch conflict tracker (nothing external can complete
+        mid-handler, so checking up front is equivalent to the interpreted
+        per-command interleaving), the tracker gets the batch's *net*
+        update, and the sweep visits positions in entry order so zero-dep
+        SEND/RECV/CREATE commands complete synchronously at the same
+        points the interpreted path completes them.
+        """
+        arena = plan.acquire(self.worker_id, self.registry)
+        self._live_arenas.add(arena)
+        cmds = arena.cmds
+        for i, slot in plan.param_slots:
+            cmds[i].params = params.get(slot)
+        for i, dst_worker, dst_index in plan.sends:
+            cmds[i].tag = (instance_id, dst_worker, dst_index)
+        wid = self.worker_id
+        for i, entry_index in plan.recvs:
+            cmds[i].tag = (instance_id, wid, entry_index)
+
+        pending = self._pending
+        last_writer = self._last_writer
+        readers_since = self._readers_since
+        dependents = self._dependents
+        data_buffer = self._data_buffer
+        expected = self._expected
+        early = arena.early
+        on_ready = self._on_ready
+        # External checks consult pre-batch tracker state; walking them
+        # with a cursor inside the sweep is equivalent to the up-front pass
+        # because the net tracker update is deferred until after the sweep
+        # and nothing that completes mid-sweep reads or writes the tracker.
+        ext_iter = iter(plan.ext_checks)
+        ext = next(ext_iter, None)
+        ext_pos = ext[0] if ext is not None else -1
+        i = 0
+        for cmd, (_eidx, report, base_rem, is_recv) in zip(cmds, plan.rows):
+            cmd.cid = cid = cid_base + _eidx
+            cmd._wmeta = wm1 if report else wm0
+            pending[cid] = cmd
+            rem = base_rem
+            if i == ext_pos:
+                _pos, roids, woids = ext
+                ext = next(ext_iter, None)
+                ext_pos = ext[0] if ext is not None else -1
+                deps = None
+                for oid in roids:
+                    w = last_writer.get(oid)
+                    if w is not None and w in pending:
+                        if deps is None:
+                            deps = {w}
+                        else:
+                            deps.add(w)
+                for oid in woids:
+                    w = last_writer.get(oid)
+                    if w is not None and w in pending:
+                        if deps is None:
+                            deps = {w}
+                        else:
+                            deps.add(w)
+                    readers = readers_since.get(oid)
+                    if readers:
+                        for r in readers:
+                            if r in pending:
+                                if deps is None:
+                                    deps = {r}
+                                else:
+                                    deps.add(r)
+                if deps:
+                    for dep in deps:
+                        lst = dependents.get(dep)
+                        if lst is None:
+                            dependents[dep] = [cid]
+                        else:
+                            lst.append(cid)
+                    rem += len(deps)
+            if is_recv:
+                tag = cmd.tag
+                if tag not in data_buffer:
+                    expected[tag] = cid
+                    rem += 1
+            if early:
+                rem -= early.pop(i, 0)
+            cmd._rem = rem
+            if rem == 0:
+                # sweep_pos is only read by _complete during synchronous
+                # completions, so it needs to be current only around the
+                # on_ready call (including nested cascades it triggers)
+                arena.sweep_pos = i
+                on_ready(cmd)
+            i += 1
+        arena.sweep_pos = plan.m
+
+        # net conflict-tracker update (end state identical to per-command
+        # updates: intra-batch churn collapses at compile time)
+        for oid, p in plan.writes_final:
+            last_writer[oid] = cmds[p].cid
+        for oid, poss in plan.readers_reset:
+            readers_since[oid] = [cmds[p].cid for p in poss]
+        for oid, poss in plan.readers_append:
+            lst = readers_since.get(oid)
+            if lst is None:
+                readers_since[oid] = [cmds[p].cid for p in poss]
+            else:
+                for p in poss:
+                    lst.append(cmds[p].cid)
+        return arena
+
+    def _release_arena(self, arena: CommandArena) -> None:
+        self._live_arenas.discard(arena)
+        arena.release()
+
+    def _cross_check_compiled(self, entries, reports, plan, arena,
+                              instance_id, cid_base, params) -> None:
+        """Brute-force check of one compiled instantiation against the
+        interpreted path (REPRO_COMPILED_CROSS_CHECK=1)."""
+        fresh = compile_plan(entries, reports)
+        if fresh.signature() != plan.signature():
+            raise AssertionError(
+                "compiled plan is stale: recompiling the entry array "
+                "produced a different plan (missing invalidation?)")
+        ref = instantiate_entries(
+            entries, self.worker_id, instance_id, cid_base, params)
+        if len(ref) != plan.m:
+            raise AssertionError(
+                f"compiled plan has {plan.m} commands; interpreted "
+                f"instantiation produced {len(ref)}")
+        for i, want in enumerate(ref):
+            got = arena.cmds[i]
+            for field in ("cid", "kind", "read", "write", "function",
+                          "params", "dst_worker", "src_worker", "tag",
+                          "size_bytes"):
+                g, w = getattr(got, field), getattr(want, field)
+                if g != w:
+                    raise AssertionError(
+                        f"compiled command {i} (cid {got.cid}) differs from "
+                        f"interpreted: {field}={g!r} != {w!r}")
 
     def _on_install_patch(self, msg: P.InstallPatch) -> None:
         if msg.patch_id in self._patches:
@@ -267,7 +457,7 @@ class Worker(P.ReliableEndpoint, Actor):
         entries = [e.clone() for e in msg.entries]
         self._patches[msg.patch_id] = entries
         self._ran_patches.add((msg.patch_id, msg.instance_id))
-        self._run_patch(entries, msg.instance_id, msg.cid_base)
+        self._run_patch(msg.patch_id, entries, msg.instance_id, msg.cid_base)
 
     def _on_instantiate_patch(self, msg: P.InstantiatePatch) -> None:
         if (msg.patch_id, msg.instance_id) in self._ran_patches:
@@ -275,14 +465,29 @@ class Worker(P.ReliableEndpoint, Actor):
             return
         self._ran_patches.add((msg.patch_id, msg.instance_id))
         entries = self._patches[msg.patch_id]
-        self._run_patch(entries, msg.instance_id, msg.cid_base)
+        self._run_patch(msg.patch_id, entries, msg.instance_id, msg.cid_base)
 
-    def _run_patch(self, entries, instance_id, cid_base) -> None:
+    def _run_patch(self, patch_id, entries, instance_id, cid_base) -> None:
+        if self._use_compiled:
+            plan = self._patch_plans.get(patch_id)
+            if plan is None:
+                self._patch_plans[patch_id] = plan = compile_plan(entries, ())
+                self.plans_compiled += 1
+            self.charge(self.costs.worker_instantiate_per_command * plan.m)
+            if plan.m == 0:
+                return
+            wm = (None, False, None)
+            arena = self._run_compiled_plan(
+                plan, cid_base, instance_id, {}, wm, wm)
+            if self._cross_check:
+                self._cross_check_compiled(
+                    entries, (), plan, arena, instance_id, cid_base, {})
+            return
         commands = instantiate_entries(
             entries, self.worker_id, instance_id, cid_base, {},
         )
         self.charge(self.costs.worker_instantiate_per_command * len(commands))
-        self._enqueue_batch(commands, [(None, False)] * len(commands))
+        self._enqueue_batch(commands, [(None, False, None)] * len(commands))
 
     # ------------------------------------------------------------------
     # Command queue: local readiness resolution (§3.1 requirement 1)
@@ -384,7 +589,8 @@ class Worker(P.ReliableEndpoint, Actor):
         kind = cmd.kind
         if kind == CommandKind.TASK:
             self._ready_tasks.append(cmd)
-            self._maybe_start_tasks()
+            if self._free_slots > 0:
+                self._maybe_start_tasks()
         elif kind == CommandKind.SEND:
             self._execute_send(cmd)
         elif kind == CommandKind.RECV:
@@ -404,29 +610,88 @@ class Worker(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     def _maybe_start_tasks(self) -> None:
         ready = self._ready_tasks
-        while self._free_slots > 0 and ready:
+        if not ready:
+            return
+        free = self._free_slots
+        if free <= 0:
+            return
+        sim = self.sim
+        scale = self.duration_scale
+        fire = self._task_fire
+        epoch = self._epoch
+        # completion timers are pushed straight onto the engine queues
+        # (same entry shape schedule_fast builds) — one fewer call per
+        # task on the single hottest schedule site in the system
+        now = sim._now
+        seq = sim._seq
+        heap = sim._heap
+        zero = sim._zero
+        push = heapq.heappush
+        while free > 0 and ready:
             cmd = ready.popleft()
-            self._free_slots -= 1
-            fn = self.registry.get(cmd.function)
-            duration = fn.duration_of(cmd.params, self.worker_id)
-            duration *= self.duration_scale
-            self.call_later(duration, self._task_finished, cmd, fn, duration,
-                            self._epoch)
+            free -= 1
+            fn = cmd._cfn  # resolved once at arena build for compiled plans
+            if fn is None:
+                fn = self.registry.get(cmd.function)
+            duration = fn._const_dur
+            if duration is None:
+                duration = fn.duration_of(cmd.params, self.worker_id)
+            duration *= scale
+            seq += 1
+            entry = (now + duration, seq, fire, (cmd, fn, duration, epoch))
+            if duration > 0.0:
+                push(heap, entry)
+            elif duration == 0.0:
+                zero.append(entry)
+            else:
+                raise ValueError(f"negative task duration {duration!r}")
+        sim._seq = seq
+        self._free_slots = free
+
+    def _task_fire(self, cmd: Command, fn, duration: float,
+                   epoch: int) -> None:
+        """Specialized :meth:`Actor._timer_fire` for task completions.
+
+        Identical semantics — idle control threads run the completion
+        inside the timer event, busy ones fall back to a queued
+        _Callback — with the generic fn/args indirection flattened out of
+        the hottest timer in the system.
+        """
+        sim = self.sim
+        if self._draining or self._inbox or self._busy_until > sim._now:
+            self.deliver(_Callback(self._task_finished,
+                                   (cmd, fn, duration, epoch)))
+            return
+        if self._dead:
+            return  # mirrors delivery to a crashed endpoint: dropped
+        self._charged = 0.0
+        start = self._handler_start = sim._now
+        self._task_finished(cmd, fn, duration, epoch)
+        cost = self._charged
+        self._charged = 0.0
+        self.busy_time += cost
+        busy_until = self._busy_until = start + cost
+        if self._inbox:
+            self._draining = True
+            now = sim._now
+            sim.schedule_fast(busy_until if busy_until > now else now,
+                              self._drain, ())
 
     def _task_finished(self, cmd: Command, fn, duration: float,
                        epoch: int) -> None:
         if epoch != self._epoch:
             return  # halted since this task started
-        self.charge(self.costs.worker_complete_per_command + self.callback_overhead)
+        self._charged += self._complete_cost + self.callback_overhead
         if fn.fn is not None:
             ctx = TaskContext(self.store, cmd.params, self.worker_id,
                               cmd.read, cmd.write)
             fn.fn(ctx)
         self._free_slots += 1
         self.tasks_executed += 1
-        self.metrics.incr("tasks_executed")
+        self.metrics.counters["tasks_executed"] += 1.0
         self._complete(cmd, duration)
-        self._maybe_start_tasks()
+        if self._ready_tasks:
+            self._maybe_start_tasks()
 
     def _execute_send(self, cmd: Command) -> None:
         oid = cmd.read[0]
@@ -442,7 +707,33 @@ class Worker(P.ReliableEndpoint, Actor):
         cid = cmd.cid
         pending = self._pending
         del pending[cid]
-        meta_key, report = cmd._wmeta
+        meta_key, report, record = cmd._wmeta
+        csucc = cmd._csucc
+        if csucc is not None:
+            # compiled command: intra-batch successors are direct object
+            # references. Successors the resolution sweep has not reached
+            # yet have no dependency count to decrement — the adjustment
+            # parks in arena.early and the sweep subtracts it. (Successors
+            # at swept positions with _rem already 0 received every edge
+            # decrement before completing; the r > 0 guard mirrors the
+            # interpreted path's pending-membership check.)
+            arena = cmd._carena
+            if csucc:
+                sweep = arena.sweep_pos
+                early = arena.early
+                for succ in csucc:
+                    pos = succ._cpos
+                    if pos <= sweep:
+                        r = succ._rem
+                        if r > 0:
+                            succ._rem = r - 1
+                            if r == 1:
+                                self._on_ready(succ)
+                    else:
+                        early[pos] = early.get(pos, 0) + 1
+            arena.outstanding = left = arena.outstanding - 1
+            if left == 0:
+                self._release_arena(arena)
         deps = self._dependents.pop(cid, None)
         if deps:
             for dep in deps:
@@ -451,28 +742,25 @@ class Worker(P.ReliableEndpoint, Actor):
                     dep_cmd._rem = left = dep_cmd._rem - 1
                     if left == 0:
                         self._on_ready(dep_cmd)
-        value = None
-        if report and cmd.write:
-            value = self.store.get(cmd.write[0])
-        if meta_key is None:
-            return  # patch command: no ack needed
-        scope, key = meta_key
-        if scope == "central":
-            oid = cmd.write[0] if (report and cmd.write) else None
-            self._completion_buffer.append((cid, key, duration, value, oid))
-            if not self._completion_flush_pending:
-                self._completion_flush_pending = True
-                self.call_later(self.completion_flush_window,
-                                self._flush_completions)
-        else:
-            record = self._instances[key]
+        if record is not None:
             record.remaining -= 1
             if cmd.kind == CommandKind.TASK:
                 record.compute_time += duration
             if report and cmd.write:
-                record.values[cmd.write[0]] = value
+                record.values[cmd.write[0]] = self.store.get(cmd.write[0])
             if record.remaining == 0:
                 self._finish_instance(record)
+            return
+        if meta_key is None:
+            return  # patch command: no ack needed
+        _scope, key = meta_key
+        value = self.store.get(cmd.write[0]) if (report and cmd.write) else None
+        oid = cmd.write[0] if (report and cmd.write) else None
+        self._completion_buffer.append((cid, key, duration, value, oid))
+        if not self._completion_flush_pending:
+            self._completion_flush_pending = True
+            self.call_later(self.completion_flush_window,
+                            self._flush_completions)
 
     def _flush_completions(self) -> None:
         """Send buffered completions now.
@@ -550,6 +838,11 @@ class Worker(P.ReliableEndpoint, Actor):
         self._expected.clear()
         self._instances.clear()
         self._completion_buffer.clear()  # stale: their runs were abandoned
+        # arenas of abandoned instances: every per-instance field is
+        # rewritten on the next acquire, so they can be pooled immediately
+        for arena in self._live_arenas:
+            arena.release()
+        self._live_arenas.clear()
         self.send_reliable(self.controller, P.HaltAck(self.worker_id))
 
     # ------------------------------------------------------------------
@@ -573,6 +866,11 @@ class Worker(P.ReliableEndpoint, Actor):
             self.network.partition(self.name)
 
     def _rel_alive(self) -> bool:
+        return not self._dead
+
+    def _timer_alive(self) -> bool:
+        # shadows the protocol-layer indirection: one attribute load on
+        # the per-task-completion timer path
         return not self._dead
 
     # ------------------------------------------------------------------

@@ -11,10 +11,14 @@ from .harness import (  # noqa: F401
     BENCH_FILENAME,
     SCALES,
     SCHEMA_VERSION,
+    bench_instantiate,
+    bench_instantiate_compiled,
     bench_path,
+    instantiate_allocations,
     load_bench,
     run_harness,
     run_microbenchmarks,
     timed_workload,
+    workload_allocations,
     write_bench,
 )

@@ -21,10 +21,19 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import mean_iteration_time, task_throughput
-from ..apps import KMeansApp, KMeansSpec, LRApp, LRSpec
+from ..apps import (
+    KMeansApp,
+    KMeansSpec,
+    LRApp,
+    LRSpec,
+    RotationApp,
+    RotationSpec,
+)
+from ..core.compiled import compile_plan
 from ..core.controller_template import ControllerTemplate
 from ..core.patching import build_patch
 from ..core.validation import full_validate
@@ -33,7 +42,10 @@ from ..nimbus import NimbusCluster
 from ..nimbus.data import LogicalObject, ObjectDirectory
 from ..sim.engine import Simulator
 
-SCHEMA_VERSION = 1
+#: v2 adds the ``patch_rotation`` workload (patch-cache coverage), the
+#: per-workload ``allocations`` section, and the compiled-vs-interpreted
+#: instantiation microbenchmark
+SCHEMA_VERSION = 2
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -64,19 +76,30 @@ BASELINE_WALL = {
     },
 }
 
+#: workload -> (app class, spec class, blocking driver?). The rotation
+#: loop must block (round k+1 overwrites what round k reads; there is no
+#: dataflow edge ordering them) — it exists to give the patch cache real
+#: steady-state coverage, which fig07/fig08 never produce.
 WORKLOADS = {
-    "fig07_lr": (LRApp, LRSpec),
-    "fig08_kmeans": (KMeansApp, KMeansSpec),
+    "fig07_lr": (LRApp, LRSpec, False),
+    "fig08_kmeans": (KMeansApp, KMeansSpec, False),
+    "patch_rotation": (RotationApp, RotationSpec, True),
 }
+
+
+def _build_cluster(workload: str, num_workers: int,
+                   iterations: int) -> Tuple[NimbusCluster, Any]:
+    app_cls, spec_cls, blocking = WORKLOADS[workload]
+    app = app_cls(spec_cls(num_workers=num_workers, iterations=iterations))
+    cluster = NimbusCluster(num_workers, app.program(blocking=blocking),
+                            registry=app.registry)
+    return cluster, app
 
 
 def timed_workload(workload: str, num_workers: int,
                    iterations: int = ITERATIONS) -> Dict[str, Any]:
-    """Run one fig07/fig08 Nimbus configuration and time it."""
-    app_cls, spec_cls = WORKLOADS[workload]
-    app = app_cls(spec_cls(num_workers=num_workers, iterations=iterations))
-    cluster = NimbusCluster(num_workers, app.program(blocking=False),
-                            registry=app.registry)
+    """Run one harness Nimbus configuration and time it."""
+    cluster, app = _build_cluster(workload, num_workers, iterations)
     start = time.perf_counter()
     cluster.run_until_finished(max_seconds=1e6)
     wall = time.perf_counter() - start
@@ -94,6 +117,29 @@ def timed_workload(workload: str, num_workers: int,
             cluster.metrics, block_id, skip=skip),
         "counters": {name: cluster.metrics.count(name)
                      for name in DECISION_COUNTERS},
+    }
+
+
+def workload_allocations(workload: str, num_workers: int,
+                         iterations: int = ITERATIONS) -> Dict[str, int]:
+    """Traced allocation footprint of one run (tracemalloc; untimed).
+
+    ``peak_bytes`` is the high-water mark of bytes allocated during the
+    run, ``retained_bytes`` what is still live at the end — both relative
+    to the pre-run baseline. Tracing multiplies the wall clock several
+    times over, so this runs separately from :func:`timed_workload` and
+    only at the scale's smallest worker count.
+    """
+    cluster, _app = _build_cluster(workload, num_workers, iterations)
+    tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    cluster.run_until_finished(max_seconds=1e6)
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "workers": num_workers,
+        "peak_bytes": max(0, peak - base),
+        "retained_bytes": max(0, current - base),
     }
 
 
@@ -166,11 +212,37 @@ def bench_patch(num_workers: int = 50) -> float:
     return _bench_loop(one)
 
 
-def bench_instantiate(num_workers: int = 50) -> float:
-    """instantiate_entries ops/sec for the busiest worker half."""
+def _instantiate_fixture(num_workers: int = 50):
+    """The busiest LR worker half: (worker_id, entries, report indices)."""
     template_set, _directory, _sizes = _lr_template_fixture(num_workers)
     worker_id, entries = max(template_set.entries.items(),
                              key=lambda kv: len(kv[1]))
+    reports = tuple(e.index for e in entries if e is not None and e.report)
+    return worker_id, entries, reports
+
+
+def _refill_arena(plan, worker_id: int, instance_id: int, cid_base: int,
+                  params: Dict[str, Any]) -> None:
+    """One compiled-path instantiation: acquire a pooled arena and rewrite
+    the per-instance fields (the same writes ``Worker._run_compiled_plan``
+    performs, minus the scheduling sweep that needs live worker state)."""
+    arena = plan.acquire(worker_id)
+    cmds = arena.cmds
+    for i, slot in plan.param_slots:
+        cmds[i].params = params.get(slot)
+    for i, dst_worker, dst_index in plan.sends:
+        cmds[i].tag = (instance_id, dst_worker, dst_index)
+    for i, entry_index in plan.recvs:
+        cmds[i].tag = (instance_id, worker_id, entry_index)
+    index = plan.index
+    for pos, cmd in enumerate(cmds):
+        cmd.cid = cid_base + index[pos]
+    arena.release()
+
+
+def bench_instantiate(num_workers: int = 50) -> float:
+    """Interpreted instantiate_entries ops/sec for the busiest worker half."""
+    worker_id, entries, _reports = _instantiate_fixture(num_workers)
     state = {"i": 0}
 
     def one():
@@ -179,6 +251,46 @@ def bench_instantiate(num_workers: int = 50) -> float:
                             state["i"] * 10000, {})
 
     return _bench_loop(one)
+
+
+def bench_instantiate_compiled(num_workers: int = 50) -> float:
+    """Compiled-path instantiation ops/sec (pooled arena refill)."""
+    worker_id, entries, reports = _instantiate_fixture(num_workers)
+    plan = compile_plan(entries, reports)
+    state = {"i": 0}
+
+    def one():
+        state["i"] += 1
+        _refill_arena(plan, worker_id, state["i"], state["i"] * 10000, {})
+
+    return _bench_loop(one)
+
+
+def instantiate_allocations(num_workers: int = 50) -> Dict[str, int]:
+    """Bytes allocated by one instantiation, interpreted vs compiled.
+
+    Measured with tracemalloc after a warm-up round on each path, so the
+    compiled number reflects steady-state arena reuse (the first
+    instantiation builds the arena; every later one rewrites it in place).
+    """
+    worker_id, entries, reports = _instantiate_fixture(num_workers)
+    plan = compile_plan(entries, reports)
+    out = {}
+    for name, one in (
+        ("interpreted", lambda i: instantiate_entries(
+            entries, worker_id, i, i * 10000, {})),
+        ("compiled", lambda i: _refill_arena(
+            plan, worker_id, i, i * 10000, {})),
+    ):
+        one(1)  # warm: arena build / code paths / int caches
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        one(2)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out[f"{name}_bytes_per_instantiation"] = max(0, peak - base)
+    return out
 
 
 def bench_engine_events(batch: int = 2000) -> float:
@@ -207,6 +319,8 @@ def run_microbenchmarks(num_workers: int = 50) -> Dict[str, float]:
         "validate_ops_per_sec": round(bench_validate(num_workers), 1),
         "patch_ops_per_sec": round(bench_patch(num_workers), 1),
         "instantiate_ops_per_sec": round(bench_instantiate(num_workers), 1),
+        "instantiate_compiled_ops_per_sec": round(
+            bench_instantiate_compiled(num_workers), 1),
         "engine_events_per_sec": round(bench_engine_events(), 1),
     }
 
@@ -222,10 +336,16 @@ def run_harness(scale: str = "paper",
     worker_counts = SCALES[scale]
     workloads: Dict[str, List[Dict[str, Any]]] = {}
     speedup: Dict[str, float] = {}
+    allocations: Dict[str, Dict[str, int]] = {}
     for workload in WORKLOADS:
         rows = [timed_workload(workload, n) for n in worker_counts]
         workloads[workload] = rows
-        base = BASELINE_WALL[scale][workload]
+        # tracemalloc pass at the scale's smallest count (tracing is slow)
+        allocations[workload] = workload_allocations(workload,
+                                                     worker_counts[0])
+        base = BASELINE_WALL[scale].get(workload)
+        if base is None:
+            continue  # added after the seed baseline was recorded
         base_total = sum(base[n] for n in worker_counts)
         now_total = sum(row["wall_seconds"] for row in rows)
         speedup[workload] = round(base_total / now_total, 3)
@@ -233,11 +353,13 @@ def run_harness(scale: str = "paper",
         "scale": scale,
         "iterations": ITERATIONS,
         "workloads": workloads,
+        "allocations": allocations,
         "baseline_wall_seconds": BASELINE_WALL[scale],
         "speedup_vs_baseline": speedup,
     }
     if microbench:
         report["microbenchmarks"] = run_microbenchmarks()
+        report["instantiate_allocations"] = instantiate_allocations()
     return report
 
 

@@ -80,23 +80,90 @@ class Actor:
         """
         if self.network is None:
             raise RuntimeError(f"actor {self.name} is not attached to a network")
-        depart = max(self.sim.now, self._handler_start + self._charged)
+        depart = max(self.sim._now, self._handler_start + self._charged)
         self.network.transmit(self, dst, msg, depart)
 
     def deliver(self, msg: Message) -> None:
-        """Called by the network when a message arrives at this actor."""
-        self._inbox.append(msg)
-        if not self._draining:
+        """Called by the network when a message arrives at this actor.
+
+        An idle actor (empty inbox, nothing draining, not busy) handles
+        the message inside the delivery event itself — equivalent to the
+        drain event having been scheduled with the delivery's sequence
+        number — instead of taking a queue round trip. Busy or draining
+        actors enqueue as before, preserving FIFO handling.
+        """
+        if self._draining:
+            self._inbox.append(msg)
+            return
+        sim = self.sim
+        now = sim._now
+        busy_until = self._busy_until
+        if self._inbox or busy_until > now or not sim._running:
+            # not idle — or delivered outside the event loop (e.g. a direct
+            # kick-off before run()), where handlers must stay queued
+            self._inbox.append(msg)
             self._draining = True
-            start = max(self.sim.now, self._busy_until)
-            self.sim.schedule_at(start, self._drain)
+            sim.schedule_fast(busy_until if busy_until > now else now,
+                              self._drain, ())
+            return
+        self._charged = 0.0
+        self._handler_start = now
+        if type(msg) is _Callback:
+            msg.fn(*msg.args)
+        else:
+            self.handle(msg)
+        cost = self._charged
+        self._charged = 0.0
+        self.busy_time += cost
+        busy_until = self._busy_until = now + cost
+        if self._inbox:
+            self._draining = True
+            now = sim._now
+            sim.schedule_fast(busy_until if busy_until > now else now,
+                              self._drain, ())
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` on this actor's control thread after ``delay``."""
         sim = self.sim
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        sim.schedule_at(sim.now + delay, self.deliver, _Callback(fn, args))
+        sim.schedule_fast(sim._now + delay, self._timer_fire, (fn, args))
+
+    def _timer_fire(self, fn: Callable, args: Tuple) -> None:
+        """Run a timer callback, claiming an idle control thread directly.
+
+        When the actor is idle at fire time — nothing queued, nothing
+        draining, not busy — the callback runs inside the timer event
+        itself (equivalent to the drain event having been scheduled with
+        the timer's own sequence number), skipping the _Callback/deliver/
+        drain round trip the busy case still takes. Handler semantics are
+        identical: same charge accounting, same FIFO order with respect to
+        queued messages (any pending message forces the fallback path).
+        """
+        sim = self.sim
+        if self._draining or self._inbox or self._busy_until > sim._now:
+            self.deliver(_Callback(fn, args))
+            return
+        if not self._timer_alive():
+            return  # mirrors delivery to a crashed endpoint: dropped
+        self._charged = 0.0
+        start = self._handler_start = sim._now
+        fn(*args)
+        cost = self._charged
+        self._charged = 0.0
+        self.busy_time += cost
+        busy_until = self._busy_until = start + cost
+        if self._inbox:
+            # the callback delivered to itself synchronously; resume the
+            # normal drain loop exactly as _drain would
+            self._draining = True
+            now = sim._now
+            sim.schedule_fast(busy_until if busy_until > now else now,
+                              self._drain, ())
+
+    def _timer_alive(self) -> bool:
+        """Whether timer callbacks may still run (crashed nodes drop them)."""
+        return True
 
     # ------------------------------------------------------------------
     # Control-thread accounting
@@ -120,7 +187,7 @@ class Actor:
         msg = inbox.popleft()
         sim = self.sim
         self._charged = 0.0
-        start = self._handler_start = sim.now
+        start = self._handler_start = sim._now
         if type(msg) is _Callback:
             msg.fn(*msg.args)
         else:
@@ -130,9 +197,9 @@ class Actor:
         self.busy_time += cost
         busy_until = self._busy_until = start + cost
         if inbox:
-            now = sim.now
-            sim.schedule_at(busy_until if busy_until > now else now,
-                            self._drain)
+            now = sim._now
+            sim.schedule_fast(busy_until if busy_until > now else now,
+                              self._drain, ())
         else:
             self._draining = False
 

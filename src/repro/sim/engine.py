@@ -6,14 +6,20 @@ engine so that control-plane costs measured in microseconds can be modeled
 faithfully for clusters of 100 workers without needing the wall-clock
 performance of the paper's C++ implementation.
 
-The heap stores ``(time, seq, event)`` tuples so ordering is resolved by
-C-level tuple comparison; ``seq`` is a monotonically increasing tiebreaker
-so simultaneous events run in schedule order, which keeps every simulation
-fully deterministic. Two wall-clock fast paths keep the loop cheap:
+Queue entries are plain tuples so ordering is resolved by C-level tuple
+comparison; ``seq`` is a monotonically increasing tiebreaker so
+simultaneous events run in schedule order, which keeps every simulation
+fully deterministic. Two entry shapes share each queue — ``(time, seq,
+Event)`` for cancellable events and ``(time, seq, fn, args)`` for the
+fire-and-forget fast path — distinguished by length on pop; ``seq`` is
+unique, so comparisons never reach the mismatched third element. Three
+wall-clock fast paths keep the loop cheap:
 
 * events scheduled at exactly the current virtual time bypass the heap and
   go to a FIFO *zero-delay queue* (the dominant case for actor control
   threads draining their inboxes);
+* :meth:`Simulator.schedule_fast` skips the :class:`Event` wrapper
+  entirely for callers that never cancel (timers, drains, deliveries);
 * cancellation is lazy — a cancelled event stays queued and is skipped on
   pop, with a counter so the no-cancellation common case never scans.
 """
@@ -72,9 +78,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
-        #: events due at exactly ``now`` (FIFO; all hold time == self._now)
-        self._zero: Deque[Event] = deque()
+        #: entries are (time, seq, Event) or (time, seq, fn, args)
+        self._heap: List[Tuple] = []
+        #: entries due at exactly ``now`` (FIFO; all hold time == self._now)
+        self._zero: Deque[Tuple] = deque()
         self._seq: int = 0
         self._events_run: int = 0
         self._running: bool = False
@@ -112,10 +119,28 @@ class Simulator:
             # invariant that every queued entry has time == self._now holds
             # because the clock cannot advance while this queue is nonempty
             # (its entries are always among the earliest pending events).
-            self._zero.append(event)
+            self._zero.append((time, self._seq, event))
         else:
             heapq.heappush(self._heap, (time, self._seq, event))
         return event
+
+    def schedule_fast(self, time: float, fn: Callable, args: Tuple) -> None:
+        """Schedule a callback that will never be cancelled.
+
+        Identical ordering semantics to :meth:`schedule_at`, but the queue
+        entry is a bare ``(time, seq, fn, args)`` tuple — no :class:`Event`
+        allocation — so hot internal callers (actor drains and timers,
+        network deliveries, task-finish callbacks) stay cheap.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time!r} < now={self._now!r}"
+            )
+        self._seq += 1
+        if time == self._now:
+            self._zero.append((time, self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, fn, args))
 
     def schedule_many(
         self, delay: float, calls: Iterable[Tuple]
@@ -137,7 +162,7 @@ class Simulator:
             event = Event(time, seq, fn, tuple(args))
             event._sim = self
             if zero:
-                self._zero.append(event)
+                self._zero.append((time, seq, event))
             else:
                 heapq.heappush(heap, (time, seq, event))
             events.append(event)
@@ -156,11 +181,17 @@ class Simulator:
     def _purge_cancelled_heads(self) -> None:
         """Drop lazily-deleted events from both queue heads."""
         zero = self._zero
-        while zero and zero[0].cancelled:
+        while zero:
+            head = zero[0]
+            if len(head) != 3 or not head[2].cancelled:
+                break
             zero.popleft()
             self._cancelled -= 1
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap:
+            head = heap[0]
+            if len(head) != 3 or not head[2].cancelled:
+                break
             heapq.heappop(heap)
             self._cancelled -= 1
 
@@ -180,17 +211,21 @@ class Simulator:
         if zero:
             # a zero-queue entry is due at self._now; the heap head can tie
             # only at the same time, in which case the smaller seq wins
-            if heap and heap[0][0] == self._now and heap[0][1] < zero[0].seq:
-                event = heapq.heappop(heap)[2]
+            if heap and heap[0][0] == self._now and heap[0][1] < zero[0][1]:
+                entry = heapq.heappop(heap)
             else:
-                event = zero.popleft()
+                entry = zero.popleft()
         elif heap:
-            event = heapq.heappop(heap)[2]
+            entry = heapq.heappop(heap)
         else:
             return False
-        self._now = event.time
+        self._now = entry[0]
         self._events_run += 1
-        event.fn(*event.args)
+        if len(entry) == 4:
+            entry[2](*entry[3])
+        else:
+            event = entry[2]
+            event.fn(*event.args)
         return True
 
     def run(
@@ -213,37 +248,52 @@ class Simulator:
             if budget is None:
                 # fast path: peek_time + step fused into one loop body so
                 # the dominant no-budget case pays one head inspection and
-                # zero extra calls per event
+                # zero extra calls per event. Cancelled events are skipped
+                # lazily on pop (a cancelled head is the queue minimum, so
+                # skipping it never changes an `until` stop decision —
+                # every live event is due no earlier).
                 zero, heap = self._zero, self._heap
                 pop = heapq.heappop
-                while True:
-                    if self._cancelled:
-                        self._purge_cancelled_heads()
-                    if zero:
-                        now = self._now
-                        if until is not None and now > until:
-                            # the pending zero-delay work is due *after* the
-                            # deadline; leave it queued, never rewind the clock
-                            return
-                        head = heap[0] if heap else None
-                        if (head is not None and head[0] == now
-                                and head[1] < zero[0].seq):
-                            event = pop(heap)[2]
+                ran = 0
+                try:
+                    while True:
+                        if zero:
+                            now = self._now
+                            if until is not None and now > until:
+                                # the pending zero-delay work is due *after*
+                                # the deadline; leave it queued, never
+                                # rewind the clock
+                                return
+                            head = heap[0] if heap else None
+                            if (head is not None and head[0] == now
+                                    and head[1] < zero[0][1]):
+                                entry = pop(heap)
+                            else:
+                                entry = zero.popleft()
+                        elif heap:
+                            if until is not None and heap[0][0] > until:
+                                if until > self._now:
+                                    self._now = until
+                                return
+                            entry = pop(heap)
                         else:
-                            event = zero.popleft()
-                    elif heap:
-                        if until is not None and heap[0][0] > until:
-                            if until > self._now:
-                                self._now = until
+                            break
+                        if len(entry) == 4:
+                            self._now = entry[0]
+                            ran += 1
+                            entry[2](*entry[3])
+                        else:
+                            event = entry[2]
+                            if event.cancelled:
+                                self._cancelled -= 1
+                                continue
+                            self._now = entry[0]
+                            ran += 1
+                            event.fn(*event.args)
+                        if self._halted:
                             return
-                        event = pop(heap)[2]
-                    else:
-                        break
-                    self._now = event.time
-                    self._events_run += 1
-                    event.fn(*event.args)
-                    if self._halted:
-                        return
+                finally:
+                    self._events_run += ran
             else:
                 while True:
                     next_time = self.peek_time()

@@ -115,4 +115,6 @@ class Network:
             self._link_free[key] = done
             arrive = done + self.latency
         arrive += extra_delay
-        self.sim.schedule_at(max(arrive, self.sim.now), dst.deliver, msg)
+        sim = self.sim
+        now = sim._now
+        sim.schedule_fast(arrive if arrive > now else now, dst.deliver, (msg,))

@@ -56,6 +56,26 @@ def test_regression_reports_error(capsys):
     assert "nested regression" in capsys.readouterr().out
 
 
+def test_rotation_exercises_patch_cache(capsys):
+    assert main(["rotation", "--workers", "4", "--iterations", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "patch rotation" in out
+    assert "patch_cache_hits" in out
+
+
+def test_rotation_cache_cap_zero_forces_recompute(capsys):
+    assert main(["rotation", "--workers", "4", "--iterations", "10",
+                 "--patch-cache-cap", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "patch cache cap 0" in out
+    assert "patch_cache_hits" not in out  # every round recomputes
+
+
+def test_rotation_requires_nimbus():
+    with pytest.raises(SystemExit):
+        main(["rotation", "--workers", "4", "--system", "spark"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
