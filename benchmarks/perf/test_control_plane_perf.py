@@ -155,13 +155,29 @@ def test_allocations_recorded_per_workload(report):
         assert 0 <= alloc["retained_bytes"] <= alloc["peak_bytes"], workload
 
 
+def test_metrics_snapshot_embedded_per_workload(report):
+    """Schema v3: each workload carries a versioned registry snapshot of
+    every Metrics counter/series/interval, taken at the largest count."""
+    snaps = report["metrics_snapshots"]
+    assert snaps.keys() == report["workloads"].keys()
+    largest = max(SCALES[SCALE])
+    for workload, snap in snaps.items():
+        assert snap["workers"] == largest, workload
+        assert snap["snapshot_version"] == 1, workload
+        assert snap["counters"]["tasks_executed"] > 0, workload
+        assert "driver_block" in snap["intervals"], workload
+        assert snap["intervals"]["driver_block"]["open"] == 0, workload
+
+
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 2
+    assert doc["schema_version"] == 3
     assert SCALE in doc["scales"]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
     assert doc["scales"][SCALE]["allocations"].keys() == \
+        doc["scales"][SCALE]["workloads"].keys()
+    assert doc["scales"][SCALE]["metrics_snapshots"].keys() == \
         doc["scales"][SCALE]["workloads"].keys()

@@ -114,7 +114,12 @@ def task_throughput(metrics: Metrics, block_id: str,
     ends = [iv.end for iv in intervals]
     baseline = ends[skip - 1] if skip > 0 else _first_start(metrics, block_id)
     span = ends[-1] - baseline
-    return tasks / span if span > 0 else 0.0
+    if span <= 0:
+        # degenerate run (all kept iterations ended at the same virtual
+        # instant): there is no rate to report. NaN — not 0.0, which reads
+        # as "measured zero throughput" — so consumers must handle it.
+        return float("nan")
+    return tasks / span
 
 
 def _iteration_intervals(metrics: Metrics, block_id: str):

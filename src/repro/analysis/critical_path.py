@@ -1,0 +1,233 @@
+"""Critical-path analysis over a completed command trace.
+
+Walks backwards from the last event of a traced run along the release
+edges the :class:`~repro.obs.trace.Tracer` recorded — "command C became
+ready because command D completed / because copy T arrived / because the
+controller dispatched it" — and attributes every segment of wall clock to
+one of four buckets:
+
+* **compute** — a command executing on a worker slot;
+* **queue**   — a ready command waiting for a free slot, or an arrived
+  copy waiting for its RECV to be resolved;
+* **network** — a copy payload or a control message in flight (send →
+  arrival), including the dispatch hop from controller to worker;
+* **control** — controller decision time, driver submission gaps, and
+  worker-side bookkeeping between a dependency completing and the
+  dependent becoming ready.
+
+The walk keeps a single *frontier* timestamp, initially the trace end.
+Each step claims the segment ``[lo, frontier)`` for a bucket and moves the
+frontier down to ``lo``; overlapping causes therefore never double-count,
+and ``sum(segments) + unattributed == end_time`` holds exactly. Coverage
+(the attributed fraction) is ~1.0 whenever the walk reaches time zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..nimbus.commands import CommandKind
+
+#: hard cap on walk length; a well-formed trace terminates long before
+#: this, the cap only guards against a malformed cycle.
+_MAX_STEPS = 1_000_000
+
+
+class CriticalPathReport:
+    """Outcome of one critical-path walk."""
+
+    __slots__ = ("total", "segments", "chain", "steps", "truncated")
+
+    def __init__(self) -> None:
+        self.total: float = 0.0
+        self.segments: Dict[str, float] = {
+            "compute": 0.0, "queue": 0.0, "network": 0.0, "control": 0.0,
+        }
+        #: chain entries, last event first:
+        #: {"kind": "cmd"|"copy"|"request", ...identifying fields}
+        self.chain: List[Dict[str, Any]] = []
+        self.steps = 0
+        self.truncated = False
+
+    @property
+    def attributed(self) -> float:
+        return sum(self.segments.values())
+
+    @property
+    def coverage(self) -> float:
+        if self.total <= 0.0:
+            return 1.0
+        return self.attributed / self.total
+
+
+def critical_path(tracer) -> CriticalPathReport:
+    """Compute the critical path of a completed traced run."""
+    report = CriticalPathReport()
+    report.total = tracer.end_time()
+    frontier = report.total
+
+    def attribute(bucket: str, lo: float) -> float:
+        """Claim [lo, frontier) for ``bucket``; returns the new frontier."""
+        nonlocal frontier
+        if lo is None:
+            return frontier
+        if lo < frontier:
+            report.segments[bucket] += frontier - lo
+            frontier = lo
+        return frontier
+
+    # Where the walk starts: the last-completing command overall.
+    last_cmd = None
+    for rec in tracer.cmds.values():
+        if rec.complete is None:
+            continue
+        if last_cmd is None or (rec.complete, rec.cid) > (last_cmd.complete,
+                                                          last_cmd.cid):
+            last_cmd = rec
+
+    # For request-level hops: the last-completing command of each run, and
+    # the runs serving each request.
+    last_of_run: Dict[int, Any] = {}
+    for rec in tracer.cmds.values():
+        if rec.complete is None or rec.run_seq is None:
+            continue
+        prior = last_of_run.get(rec.run_seq)
+        if prior is None or (rec.complete, rec.cid) > (prior.complete,
+                                                       prior.cid):
+            last_of_run[rec.run_seq] = rec
+    runs_of_request: Dict[int, List[Any]] = {}
+    for run in tracer.runs.values():
+        runs_of_request.setdefault(run.request_id, []).append(run)
+
+    visited_cmds = set()
+    visited_requests = set()
+
+    def walk_cmd(rec) -> None:
+        while rec is not None and report.steps < _MAX_STEPS:
+            report.steps += 1
+            if rec.cid in visited_cmds:
+                return
+            visited_cmds.add(rec.cid)
+            report.chain.append({
+                "kind": "cmd", "cid": rec.cid, "node": rec.node,
+                "command": CommandKind(rec.kind).name,
+                "function": rec.function, "complete": rec.complete,
+            })
+            if rec.kind == CommandKind.TASK:
+                attribute("compute", rec.start)
+            else:
+                # control-plane command (SEND/RECV/CREATE/...): its own
+                # execution is bookkeeping
+                attribute("control", rec.start)
+            attribute("queue", rec.ready)
+
+            release = rec.release
+            if release is None:
+                # ready at enqueue: dispatched straight from the
+                # controller's decision
+                attribute("control", rec.enqueue)
+                walk_dispatch(rec)
+                return
+            edge, ident = release
+            if edge == "cmd":
+                # worker bookkeeping between dependency completion and
+                # readiness (completion-buffer flush, resolve loop)
+                dep = tracer.cmds.get(ident)
+                if dep is not None:
+                    attribute("control", dep.complete)
+                    rec = dep
+                    continue
+                return
+            if edge == "data":
+                copy = tracer.copies.get(ident)
+                if copy is None:
+                    return
+                report.chain.append({
+                    "kind": "copy", "tag": str(ident),
+                    "src": copy.send_node, "dst": copy.arrive_node,
+                    "bytes": copy.size_bytes,
+                })
+                attribute("queue", copy.arrive_ts)
+                attribute("network", copy.send_ts)
+                if copy.send_cid is not None:
+                    dep = tracer.cmds.get(copy.send_cid)
+                    if dep is not None:
+                        rec = dep
+                        continue
+                return
+            return
+
+    def walk_dispatch(rec) -> None:
+        """Hop from a dispatch-ready command back through its run/request."""
+        run = tracer.runs.get(rec.run_seq) if rec.run_seq is not None else None
+        if run is None:
+            attribute("control", 0.0)
+            return
+        # controller->worker dispatch flight, then the decision itself
+        attribute("network", run.decide_end)
+        attribute("control", run.decide_start)
+        walk_request(run.request_id)
+
+    def walk_request(request_id: int) -> None:
+        if request_id in visited_requests:
+            return
+        visited_requests.add(request_id)
+        req = tracer.requests.get(request_id)
+        if req is None:
+            attribute("control", 0.0)
+            return
+        report.chain.append({
+            "kind": "request", "request_id": request_id,
+            "block_id": req.block_id, "submit": req.submit,
+        })
+        # driver->controller submission flight
+        attribute("network", req.submit)
+        if req.cause is None:
+            # program start / pipelined slack: driver-side control
+            attribute("control", 0.0)
+            return
+        # this submission waited on an earlier request completing; jump
+        # to the command whose completion finished that request
+        cause = tracer.requests.get(req.cause)
+        if cause is not None and cause.complete is not None:
+            attribute("control", cause.complete)
+        best = None
+        for run in runs_of_request.get(req.cause, ()):  # usually one
+            cand = last_of_run.get(run.seq)
+            if cand is not None and (best is None
+                                     or cand.complete > best.complete):
+                best = cand
+        if best is not None:
+            walk_cmd(best)
+        else:
+            attribute("control", 0.0)
+
+    if last_cmd is not None:
+        walk_cmd(last_cmd)
+    else:
+        attribute("control", 0.0)
+    if report.steps >= _MAX_STEPS:
+        report.truncated = True
+    return report
+
+
+def render_critical_path(report: CriticalPathReport) -> str:
+    """Human-readable critical-path summary for the CLI."""
+    lines = ["critical path"]
+    total = report.total
+    lines.append(f"  end-to-end wall clock : {total:.6f}s (virtual)")
+    for name in ("compute", "queue", "network", "control"):
+        value = report.segments[name]
+        pct = 100.0 * value / total if total > 0 else 0.0
+        lines.append(f"  {name:<8} {value:>12.6f}s  {pct:5.1f}%")
+    lines.append(f"  attributed: {100.0 * report.coverage:.1f}% of wall "
+                 f"clock across {report.steps} chain steps")
+    if report.truncated:
+        lines.append("  WARNING: walk truncated at step cap")
+    tasks = [entry for entry in report.chain if entry["kind"] == "cmd"
+             and entry["command"] == "TASK"]
+    copies = [entry for entry in report.chain if entry["kind"] == "copy"]
+    lines.append(f"  chain: {len(tasks)} tasks, {len(copies)} copies, "
+                 f"{sum(1 for e in report.chain if e['kind'] == 'request')} "
+                 f"block submissions")
+    return "\n".join(lines)

@@ -15,12 +15,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Optional, Tuple
 
 from .analysis import (
+    critical_path,
     iteration_breakdowns,
     mean_iteration_time,
+    render_critical_path,
     render_table,
     task_throughput,
 )
@@ -66,6 +69,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="LRU capacity of the controller patch cache "
                              "(default 256); nimbus only")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a command-lifecycle trace (also "
+                             "enabled by REPRO_TRACE=1); nimbus only")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the Chrome/Perfetto trace JSON here "
+                             "(default: trace_<command>.json)")
 
 
 def _cluster_kwargs(args) -> dict:
@@ -82,7 +91,26 @@ def _cluster_kwargs(args) -> dict:
             )
         kwargs["chaos_plan"] = FaultPlan.from_profile(
             args.chaos_profile, seed=args.chaos_seed)
+    if getattr(args, "trace", False):
+        if args.system != "nimbus":
+            raise SystemExit("--trace requires --system nimbus (the "
+                             "baselines carry no trace hooks)")
+        kwargs["trace"] = True
     return kwargs
+
+
+def _finish_trace(cluster, args) -> None:
+    """Export the run's trace and print the critical-path report."""
+    tracer = getattr(cluster, "tracer", None)
+    if tracer is None:
+        return
+    from .obs import write_chrome_trace
+
+    out = getattr(args, "trace_out", None) or f"trace_{args.command}.json"
+    doc = write_chrome_trace(tracer, out)
+    print(f"trace: {len(doc['traceEvents'])} events -> {out} "
+          f"(load at https://ui.perfetto.dev)")
+    print(render_critical_path(critical_path(tracer)))
 
 
 def _summary(cluster, block_id: str, skip: int) -> None:
@@ -91,7 +119,12 @@ def _summary(cluster, block_id: str, skip: int) -> None:
         iteration = mean_iteration_time(metrics, block_id, skip=skip)
         throughput = task_throughput(metrics, block_id, skip=skip)
         print(f"steady-state iteration time: {iteration * 1000:.2f} ms")
-        print(f"task throughput:             {throughput:,.0f} tasks/s")
+        if math.isnan(throughput):
+            # degenerate run: every kept iteration finished at the same
+            # virtual instant, so there is no rate to report
+            print("task throughput:             n/a (zero-length span)")
+        else:
+            print(f"task throughput:             {throughput:,.0f} tasks/s")
     except ValueError:
         pass
     print(render_table("control-plane counters", ["counter", "value"], [
@@ -123,6 +156,7 @@ def cmd_lr(args) -> None:
     print(f"logistic regression: {spec.num_partitions} partitions, "
           f"{args.iterations} iterations, system={args.system}")
     _summary(cluster, "lr.iteration", skip=args.iterations // 2)
+    _finish_trace(cluster, args)
 
 
 def cmd_kmeans(args) -> None:
@@ -137,6 +171,7 @@ def cmd_kmeans(args) -> None:
     print(f"k-means: {spec.num_partitions} partitions, "
           f"{args.iterations} iterations, system={args.system}")
     _summary(cluster, "km.iteration", skip=args.iterations // 2)
+    _finish_trace(cluster, args)
 
 
 def cmd_water(args) -> None:
@@ -154,6 +189,7 @@ def cmd_water(args) -> None:
     for i, (a, b) in enumerate(zip(boundaries, boundaries[1:])):
         print(f"  frame {i}: {b - a:.3f} s")
     _summary(cluster, "water.cg", skip=0)
+    _finish_trace(cluster, args)
 
 
 def cmd_rotation(args) -> None:
@@ -170,6 +206,7 @@ def cmd_rotation(args) -> None:
           f"{args.iterations} rounds, "
           f"patch cache cap {args.patch_cache_cap}")
     _summary(cluster, "rot.consume", skip=args.iterations // 2)
+    _finish_trace(cluster, args)
 
 
 def cmd_regression(args) -> None:
@@ -185,6 +222,7 @@ def cmd_regression(args) -> None:
     print(f"nested regression (Figure 3): {len(errors)} outer iterations, "
           f"final error {errors[-1]:.4f}" if errors else "no outer iterations")
     _summary(cluster, "reg.optimize", skip=0)
+    _finish_trace(cluster, args)
 
 
 _SWEEP_APPS = {
@@ -234,6 +272,52 @@ def cmd_sweep(args) -> None:
     print(f"iteration time over seeds: min {min(iterations) * 1000:.2f} ms, "
           f"mean {sum(iterations) / len(iterations) * 1000:.2f} ms, "
           f"max {max(iterations) * 1000:.2f} ms")
+
+
+_TRACE_WORKLOADS = {
+    # aliases -> (app class, spec class, iteration block, blocking kwarg)
+    "fig07": "lr", "fig07_lr": "lr", "lr": "lr",
+    "fig08": "kmeans", "fig08_kmeans": "kmeans", "kmeans": "kmeans",
+    "rotation": "rotation", "patch_rotation": "rotation",
+}
+
+
+def cmd_trace(args) -> None:
+    """Run one workload traced and emit the Perfetto JSON + critical path."""
+    from .obs import write_chrome_trace
+
+    workload = _TRACE_WORKLOADS[args.workload]
+    if workload == "lr":
+        spec = LRSpec(num_workers=args.workers, iterations=args.iterations,
+                      seed=args.seed)
+        app = LRApp(spec)
+        program = app.program(blocking=False)
+        block_id = "lr.iteration"
+    elif workload == "kmeans":
+        spec = KMeansSpec(num_workers=args.workers,
+                          iterations=args.iterations, seed=args.seed)
+        app = KMeansApp(spec)
+        program = app.program(blocking=False)
+        block_id = "km.iteration"
+    else:
+        spec = RotationSpec(num_workers=args.workers,
+                            iterations=args.iterations, seed=args.seed)
+        app = RotationApp(spec)
+        program = app.program()
+        block_id = "rot.consume"
+    cluster = NimbusCluster(args.workers, program, registry=app.registry,
+                            seed=args.seed, trace=True)
+    cluster.run_until_finished(max_seconds=1e7)
+    out = args.out or f"trace_{args.workload}.json"
+    doc = write_chrome_trace(cluster.tracer, out)
+    report = critical_path(cluster.tracer)
+    print(f"{args.workload}: {args.workers} workers, "
+          f"{args.iterations} iterations, "
+          f"virtual time {cluster.sim.now:.4f} s")
+    _summary(cluster, block_id, skip=args.iterations // 2)
+    print(f"trace: {len(doc['traceEvents'])} events -> {out} "
+          f"(load at https://ui.perfetto.dev)")
+    print(render_critical_path(report))
 
 
 def cmd_perf(args) -> None:
@@ -336,6 +420,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallel", type=int, default=1, metavar="N",
                        help="number of worker processes (1 = in-process)")
     sweep.set_defaults(fn=cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with tracing on and export a "
+                      "Chrome/Perfetto trace plus critical-path report")
+    trace.add_argument("workload", choices=sorted(_TRACE_WORKLOADS),
+                       help="workload to trace (fig07=lr, fig08=kmeans, "
+                            "rotation=patch exerciser)")
+    trace.add_argument("--workers", type=int, default=8)
+    trace.add_argument("--iterations", type=int, default=12)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="output JSON path "
+                            "(default trace_<workload>.json)")
+    trace.set_defaults(fn=cmd_trace)
 
     perf = sub.add_parser(
         "perf", help="wall-clock benchmark harness "

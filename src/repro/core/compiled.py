@@ -130,6 +130,20 @@ class CompiledPlan:
         return arena
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Small summary dict (trace labels, debugging) — no entry data."""
+        return {
+            "commands": self.m,
+            "sends": len(self.sends),
+            "recvs": len(self.recvs),
+            "reports": len(self.report_positions),
+            "param_slots": len(self.param_slots),
+            "ext_checks": len(self.ext_checks),
+        }
+
+    # ------------------------------------------------------------------
     # Cross-check support
     # ------------------------------------------------------------------
     def signature(self) -> Tuple:

@@ -159,6 +159,22 @@ class WorkerTemplateSet:
     def entry_count(self, worker: int) -> int:
         return len(self.entries.get(worker, ()))
 
+    def stats(self) -> dict:
+        """Summary for trace labels: sizes only, no entry contents."""
+        per_kind: Dict[str, int] = {}
+        for lst in self.entries.values():
+            for entry in lst:
+                if entry is None:
+                    continue
+                kind = entry.kind.name
+                per_kind[kind] = per_kind.get(kind, 0) + 1
+        return {
+            "workers": len([w for w, lst in self.entries.items() if lst]),
+            "entries": self.num_commands(),
+            "preconditions": len(self.precondition_pairs),
+            **{f"kind_{k}": v for k, v in sorted(per_kind.items())},
+        }
+
 
 def generate_worker_templates(
     template: ControllerTemplate,

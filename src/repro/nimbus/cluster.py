@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..obs import Tracer, trace_enabled_default
 from ..sim.actor import Actor
 from ..sim.engine import Simulator
 from ..sim.metrics import Metrics
@@ -41,9 +42,15 @@ class NimbusCluster:
         chaos_plan=None,
         use_compiled: Optional[bool] = None,
         patch_cache_cap: int = 256,
+        trace: Optional[bool] = None,
     ):
         self.sim = Simulator()
         self.metrics = Metrics()
+        # Tracing is pure observation: a traced run's virtual results are
+        # bit-identical to an untraced run. None defers to REPRO_TRACE.
+        if trace is None:
+            trace = trace_enabled_default()
+        self.tracer: Optional[Tracer] = Tracer(self.sim) if trace else None
         self.seeds = SeedSequence(seed)
         self.chaos_plan = chaos_plan
         if chaos_plan is not None:
@@ -89,6 +96,12 @@ class NimbusCluster:
         )
         self.network.attach(self.driver)
         self.controller.driver = self.driver
+
+        if self.tracer is not None:
+            self.controller._trace = self.tracer
+            self.driver._trace = self.tracer
+            for worker in self.workers.values():
+                worker._trace = self.tracer
 
         if chaos_plan is not None:
             chaos_plan.apply_scripted(self.sim, self.network, self.workers)

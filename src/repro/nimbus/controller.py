@@ -408,6 +408,8 @@ class Controller(P.ReliableEndpoint, Actor):
         # Central execution leaves template validation state unknown.
         self.validation_state.invalidate()
         self._prev_block_key = ("central", block.block_id)
+        if self._trace is not None:
+            self._trace_decided(run)
         return run
 
     # ------------------------------------------------------------------
@@ -462,11 +464,17 @@ class Controller(P.ReliableEndpoint, Actor):
         if phase == self.PHASE_CT_READY:
             # generate the controller half of the worker templates while
             # dispatching this iteration centrally (Fig. 9, iteration 11)
+            c0 = self._charged
             self.charge(
                 self.costs.install_worker_template_controller_per_task * n)
             version = self.current_version[block_id]
             wts = generate_worker_templates(
                 template, self.object_sizes(), version)
+            if self._trace is not None:
+                self._trace.span(
+                    self.name, "template", "template.generate",
+                    self._handler_start + c0, self._charged - c0,
+                    block_id=block_id, **wts.stats())
             self.worker_templates[wts.key] = wts
             self.phase[block_id] = self.PHASE_WT_GENERATED
             self._dispatch_from_template(instance, msg.request_id)
@@ -484,15 +492,26 @@ class Controller(P.ReliableEndpoint, Actor):
         version = self.current_version[block_id]
         wts = self.worker_templates[(block_id, version)]
         self._install_worker_halves(wts)  # no-op for already-installed workers
+        c0 = self._charged
         if self.validation_state.auto_validates(wts.key):
             self.charge(
                 self.costs.instantiate_worker_template_auto_per_task * n)
             self.metrics.incr("auto_validations")
+            if self._trace is not None:
+                self._trace.span(
+                    self.name, "template", "validate.auto",
+                    self._handler_start + c0, self._charged - c0,
+                    block_id=block_id)
         else:
             self.charge(
                 self.costs.instantiate_worker_template_validate_per_task * n)
             self.metrics.incr("full_validations")
             violations = full_validate(wts, self.directory)
+            if self._trace is not None:
+                self._trace.span(
+                    self.name, "template", "validate.full",
+                    self._handler_start + c0, self._charged - c0,
+                    block_id=block_id, violations=len(violations))
             if violations:
                 self._apply_patch(wts, violations)
         self._instantiate_worker_templates(wts, instance, msg.params,
@@ -515,6 +534,8 @@ class Controller(P.ReliableEndpoint, Actor):
         self.metrics.incr("tasks_scheduled", template.num_tasks)
         self.validation_state.invalidate()
         self._prev_block_key = ("central", template.block_id)
+        if self._trace is not None:
+            self._trace_decided(run)
 
     def _install_worker_halves(self, wts: WorkerTemplateSet) -> None:
         for worker in wts.workers():
@@ -528,6 +549,11 @@ class Controller(P.ReliableEndpoint, Actor):
                 wts.block_id, wts.version, entries, reports,
             ))
             wts.installed_on.add(worker)
+            if self._trace is not None:
+                self._trace.instant(self.name, "template", "template.ship",
+                                    block_id=wts.block_id,
+                                    version=wts.version, worker=worker,
+                                    entries=len(entries))
             # a fresh install ships the controller half verbatim, which
             # already contains any planned edits — drop them so they are
             # not applied a second time at instantiation
@@ -568,6 +594,8 @@ class Controller(P.ReliableEndpoint, Actor):
         self.validation_state.note_instantiation(wts.key)
         self._prev_block_key = wts.key
         self.metrics.incr("tasks_scheduled", template.num_tasks)
+        if self._trace is not None:
+            self._trace_decided(run)
 
     # ------------------------------------------------------------------
     # Patching (§4.2)
@@ -576,6 +604,7 @@ class Controller(P.ReliableEndpoint, Actor):
                      violations: List[Tuple[int, int]]) -> None:
         instance_id = self._next_instance
         self._next_instance += 1
+        c0 = self._charged
         cached = self.patch_cache.lookup(
             self._prev_block_key, wts.key, violations, self.directory)
         if cached is not None:
@@ -586,6 +615,11 @@ class Controller(P.ReliableEndpoint, Actor):
                 self.send_reliable(self.workers[worker], P.InstantiatePatch(
                     patch.patch_id, cid_base, instance_id))
             self.metrics.incr("patch_cache_hits")
+            if self._trace is not None:
+                self._trace.span(
+                    self.name, "template", "patch.cache_hit",
+                    self._handler_start + c0, self._charged - c0,
+                    patch_id=patch.patch_id, num_copies=patch.num_copies())
         else:
             patch = build_patch(violations, self.directory, self.object_sizes(),
                                 patch_id=self.patch_cache.allocate_id())
@@ -597,6 +631,11 @@ class Controller(P.ReliableEndpoint, Actor):
                     instance_id))
             self.patch_cache.store(self._prev_block_key, wts.key, patch)
             self.metrics.incr("patches_computed")
+            if self._trace is not None:
+                self._trace.span(
+                    self.name, "template", "patch.compute",
+                    self._handler_start + c0, self._charged - c0,
+                    patch_id=patch.patch_id, num_copies=patch.num_copies())
         patch.apply_to_directory(self.directory)
         self.metrics.incr("patch_copies", patch.num_copies())
 
@@ -652,10 +691,16 @@ class Controller(P.ReliableEndpoint, Actor):
         template.assignment_version += 1
         version = template.assignment_version
         self.current_version[block_id] = version
+        c0 = self._charged
         self.charge(self.costs.install_worker_template_controller_per_task
                     * template.num_tasks)
         wts = generate_worker_templates(
             template, self.object_sizes(), version)
+        if self._trace is not None:
+            self._trace.span(
+                self.name, "template", "template.generate",
+                self._handler_start + c0, self._charged - c0,
+                block_id=block_id, version=version, **wts.stats())
         self.worker_templates[wts.key] = wts
         self.assignments[(block_id, version)] = [
             e.worker for e in template.entries
@@ -728,7 +773,18 @@ class Controller(P.ReliableEndpoint, Actor):
         self.metrics.begin("block", self.sim.now, key=seq,
                            block_id=block_id, seq=seq, mode=mode,
                            num_tasks=num_tasks, request_id=request_id)
+        if self._trace is not None:
+            self._trace.run_begin(run.seq, block_id, mode, request_id,
+                                  num_tasks, self._handler_start)
         return run
+
+    def _trace_decided(self, run: _BlockRun) -> None:
+        """Record the end of this run's scheduling decision (traced only).
+
+        The decision ends when the handler's charged CPU elapses — the
+        same instant the dispatch messages depart the controller.
+        """
+        self._trace.run_decided(run.seq, self._handler_start + self._charged)
 
     def _on_command_complete(self, msg: P.CommandComplete) -> None:
         self.charge(self.costs.controller_completion_per_task)
@@ -775,6 +831,8 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def _finish_block(self, run: _BlockRun) -> None:
         del self.runs[run.seq]
+        if self._trace is not None:
+            self._trace.run_finish(run.seq)
         compute = 0.0
         if run.compute_by_worker:
             compute = max(run.compute_by_worker.values()) / self.slots_per_worker

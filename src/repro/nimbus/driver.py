@@ -140,6 +140,10 @@ class Driver(P.ReliableEndpoint, Actor):
         self._replay: List[Tuple[str, Dict[str, Any]]] = []
         self._replay_cursor = 0
 
+        #: request id whose completion caused the submission currently
+        #: being dispatched (traced only; critical-path causality edge)
+        self._trace_cause: Optional[int] = None
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin executing the program (enters the actor's handler loop)."""
@@ -170,6 +174,8 @@ class Driver(P.ReliableEndpoint, Actor):
             except StopIteration:
                 self.job.finished = True
                 self.job.finish_time = self.sim.now
+                if self._trace is not None:
+                    self._trace.driver_finish()
                 if self.halt_on_finish:
                     self.sim.halt()
                 return
@@ -242,6 +248,9 @@ class Driver(P.ReliableEndpoint, Actor):
         self._submit_times[request_id] = self.sim.now
         self.metrics.begin("driver_block", self.sim.now, key=request_id,
                            block_id=block.block_id, request_id=request_id)
+        if self._trace is not None:
+            self._trace.block_submit(request_id, block.block_id,
+                                     self._trace_cause)
         if self.use_templates and block.block_id in self._installed:
             base = self._next_task_id
             self._next_task_id += block.num_tasks
@@ -259,6 +268,9 @@ class Driver(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     def _on_block_complete(self, msg: P.BlockComplete) -> None:
         self._outstanding -= 1
+        if self._trace is not None:
+            self._trace.block_complete(msg.request_id)
+            self._trace_cause = msg.request_id
         if self._backlog and self._outstanding - len(self._backlog) < self.max_inflight:
             request_id, block, params = self._backlog.pop(0)
             self._dispatch_request(request_id, block, params)
@@ -270,6 +282,7 @@ class Driver(P.ReliableEndpoint, Actor):
                              key=msg.request_id, results=msg.results)
         self._block_results[msg.request_id] = msg.results
         if self._wait is None:
+            self._trace_cause = None
             return
         if self._wait == ("request", msg.request_id):
             self._wait = None
@@ -277,6 +290,7 @@ class Driver(P.ReliableEndpoint, Actor):
         elif self._wait == ("drain",) and self._outstanding == 0:
             self._wait = None
             self._advance(None)
+        self._trace_cause = None
 
     # ------------------------------------------------------------------
     # Recovery

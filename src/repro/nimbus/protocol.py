@@ -97,6 +97,10 @@ class JobRestored(Message):
     def __init__(self, next_seq: int, results_history: List[Tuple[str, Dict[str, Any]]]):
         self.next_seq = next_seq
         self.results_history = results_history
+        # block id + per-block result digest; previously fell back to the
+        # generic Message default, undercounting replay traffic
+        self.size_bytes = 64 + sum(32 + 32 * len(results)
+                                   for _block_id, results in results_history)
 
 
 # ---------------------------------------------------------------------------
@@ -404,6 +408,9 @@ class ReliableEndpoint:
         self._rel_send_seq[dst.name] = seq
         msg.rel_seq = seq
         msg.rel_src = self.name
+        if self._trace is not None:
+            self._trace.flow_send(self.name, dst.name, seq,
+                                  type(msg).__name__)
         deadline = self.sim._now + RELIABLE_RTO
         self._rel_unacked[(dst.name, seq)] = [
             dst, msg, 0, deadline, RELIABLE_RTO,
@@ -502,6 +509,8 @@ class ReliableEndpoint:
             self._rel_incr("protocol.reorder_holds")
             return
         self._rel_recv_next[src] = seq + 1
+        if self._trace is not None:
+            self._trace.flow_recv(src, self.name, seq)
         super().deliver(msg)
         while True:
             nxt = self._rel_recv_next[src]
@@ -509,6 +518,8 @@ class ReliableEndpoint:
             if pending is None:
                 break
             self._rel_recv_next[src] = nxt + 1
+            if self._trace is not None:
+                self._trace.flow_recv(src, self.name, nxt)
             super().deliver(pending)
 
     def _rel_alive(self) -> bool:

@@ -155,6 +155,10 @@ class Worker(P.ReliableEndpoint, Actor):
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
         self.tasks_executed = 0
+        #: why the next _on_ready fired: None (ready at enqueue),
+        #: ("cmd", cid) or ("data", tag). Written only when tracing; read
+        #: by the Tracer to build the critical-path release edges.
+        self._trace_release = None
         #: per-completion control-thread charge, hoisted off the cost table
         self._complete_cost = costs.worker_complete_per_command
         #: extra control-thread cost charged per task completion; used by
@@ -236,6 +240,10 @@ class Worker(P.ReliableEndpoint, Actor):
             self.costs.install_worker_template_worker_per_task * len(entries)
         )
         self.metrics.incr("worker_templates_installed")
+        if self._trace is not None:
+            self._trace.instant(self.name, "template", "template.install",
+                                block_id=msg.block_id, version=msg.version,
+                                entries=len(entries))
 
     def _on_instantiate_template(self, msg: P.InstantiateWorkerTemplate) -> None:
         key = (msg.block_id, msg.instance_id)
@@ -283,9 +291,13 @@ class Worker(P.ReliableEndpoint, Actor):
         charge, same resolution order, same synchronous completions — but
         touching only per-instance fields of reused Command objects.
         """
-        if half._plan is None:
+        fresh_plan = half._plan is None
+        if fresh_plan:
             self.plans_compiled += 1
         plan = half.compiled_plan()
+        if fresh_plan and self._trace is not None:
+            self._trace.instant(self.name, "template", "plan-compile",
+                                block_id=msg.block_id, **plan.describe())
         m = plan.m
         self.charge(self.costs.worker_instantiate_per_command * m)
         cid_base = msg.cid_base
@@ -347,11 +359,18 @@ class Worker(P.ReliableEndpoint, Actor):
         ext_iter = iter(plan.ext_checks)
         ext = next(ext_iter, None)
         ext_pos = ext[0] if ext is not None else -1
+        tr = self._trace
+        if tr is not None:
+            record0 = wm0[2]
+            trace_run_seq = record0.block_seq if record0 is not None else None
         i = 0
         for cmd, (_eidx, report, base_rem, is_recv) in zip(cmds, plan.rows):
             cmd.cid = cid = cid_base + _eidx
             cmd._wmeta = wm1 if report else wm0
             pending[cid] = cmd
+            if tr is not None:
+                tr.cmd_enqueue(cid, cmd.kind, cmd.function, self.name,
+                               trace_run_seq)
             rem = base_rem
             if i == ext_pos:
                 _pos, roids, woids = ext
@@ -401,6 +420,8 @@ class Worker(P.ReliableEndpoint, Actor):
                 # completions, so it needs to be current only around the
                 # on_ready call (including nested cascades it triggers)
                 arena.sweep_pos = i
+                if tr is not None:
+                    self._trace_release = None  # ready at instantiation
                 on_ready(cmd)
             i += 1
         arena.sweep_pos = plan.m
@@ -521,6 +542,17 @@ class Worker(P.ReliableEndpoint, Actor):
         self._pending[cmd.cid] = cmd
         cmd._wmeta = meta
         cmd._rem = -1  # not yet resolved
+        if self._trace is not None:
+            meta_key = meta[0]
+            if meta_key is None:
+                run_seq = None
+            elif meta_key[0] == "central":
+                run_seq = meta_key[1]
+            else:
+                record = meta[2]
+                run_seq = record.block_seq if record is not None else None
+            self._trace.cmd_enqueue(cmd.cid, cmd.kind, cmd.function,
+                                    self.name, run_seq)
 
     def _resolve(self, cmd: Command, exclude=frozenset()) -> None:
         # hot path: one call per command ever run; locals bound up front
@@ -571,10 +603,15 @@ class Worker(P.ReliableEndpoint, Actor):
         for dep in deps:
             self._dependents.setdefault(dep, []).append(cid)
         if remaining == 0:
+            if self._trace is not None:
+                self._trace_release = None  # ready straight from dispatch
             self._on_ready(cmd)
 
     def _on_data(self, msg: P.DataMessage) -> None:
         self._data_buffer[msg.tag] = (msg.payload, msg.size_bytes)
+        if self._trace is not None:
+            self._trace.copy_arrive(msg.tag, self.name)
+            self._trace_release = ("data", msg.tag)
         cid = self._expected.pop(msg.tag, None)
         if cid is not None:
             self._dec(cid)
@@ -586,6 +623,8 @@ class Worker(P.ReliableEndpoint, Actor):
             self._on_ready(cmd)
 
     def _on_ready(self, cmd: Command) -> None:
+        if self._trace is not None:
+            self._trace.cmd_ready(cmd.cid, self._trace_release)
         kind = cmd.kind
         if kind == CommandKind.TASK:
             self._ready_tasks.append(cmd)
@@ -627,9 +666,12 @@ class Worker(P.ReliableEndpoint, Actor):
         heap = sim._heap
         zero = sim._zero
         push = heapq.heappush
+        tr = self._trace
         while free > 0 and ready:
             cmd = ready.popleft()
             free -= 1
+            if tr is not None:
+                tr.cmd_start(cmd.cid)
             fn = cmd._cfn  # resolved once at arena build for compiled plans
             if fn is None:
                 fn = self.registry.get(cmd.function)
@@ -697,6 +739,8 @@ class Worker(P.ReliableEndpoint, Actor):
         oid = cmd.read[0]
         payload = self.store.get(oid)
         peer = self.peers[cmd.dst_worker]
+        if self._trace is not None:
+            self._trace.copy_send(cmd.tag, cmd.cid, self.name, cmd.size_bytes)
         self.send_reliable(peer, P.DataMessage(cmd.tag, oid, payload, cmd.size_bytes))
         self._complete(cmd, duration=0.0)
 
@@ -707,6 +751,9 @@ class Worker(P.ReliableEndpoint, Actor):
         cid = cmd.cid
         pending = self._pending
         del pending[cid]
+        tr = self._trace
+        if tr is not None:
+            tr.cmd_complete(cid)
         meta_key, report, record = cmd._wmeta
         csucc = cmd._csucc
         if csucc is not None:
@@ -728,6 +775,9 @@ class Worker(P.ReliableEndpoint, Actor):
                         if r > 0:
                             succ._rem = r - 1
                             if r == 1:
+                                # set per-call: nested completions clobber it
+                                if tr is not None:
+                                    self._trace_release = ("cmd", cid)
                                 self._on_ready(succ)
                     else:
                         early[pos] = early.get(pos, 0) + 1
@@ -741,6 +791,8 @@ class Worker(P.ReliableEndpoint, Actor):
                 if dep_cmd is not None:
                     dep_cmd._rem = left = dep_cmd._rem - 1
                     if left == 0:
+                        if tr is not None:
+                            self._trace_release = ("cmd", cid)
                         self._on_ready(dep_cmd)
         if record is not None:
             record.remaining -= 1

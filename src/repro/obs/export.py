@@ -1,0 +1,167 @@
+"""Chrome/Perfetto ``trace_event`` JSON exporter.
+
+Converts a :class:`~repro.obs.trace.Tracer` into the Trace Event Format
+(the JSON flavour understood by ``chrome://tracing`` and
+https://ui.perfetto.dev). Layout:
+
+* one *process* (pid) per simulated node, named after it (controller and
+  driver first, then the workers in numeric order);
+* tid 0 ("control") carries the node's serial control thread — actor
+  handler spans, controller decision/validate/patch/template spans — as
+  ``"X"`` complete events (the control thread never overlaps itself);
+* tid 1 ("commands") carries command execution as async ``"b"``/``"e"``
+  pairs keyed by command id, because a worker's execution slots run many
+  commands concurrently;
+* flow events ``"s"``/``"f"`` link a message's reliable-channel departure
+  to its in-order release on the receiver. Data-copy payloads get category
+  ``"copy"``; everything else is ``"ctrl"``.
+
+Virtual-clock seconds are scaled to the format's microseconds. The
+engine's event sequence number breaks ties between simultaneous events so
+the exported order matches execution order exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .trace import Tracer
+
+try:
+    from ..nimbus.commands import CommandKind
+    _KIND_NAMES = {k.value: k.name for k in CommandKind}
+except ImportError:  # pragma: no cover - obs must not hard-require nimbus
+    _KIND_NAMES = {}
+
+_US = 1e6  # virtual seconds -> trace microseconds
+
+
+def _node_order(name: str):
+    """Sort key putting driver/controller first, then workers numerically."""
+    if name == "driver":
+        return (0, 0, name)
+    if name == "controller":
+        return (1, 0, name)
+    tail = name.rsplit("-", 1)[-1]
+    if tail.isdigit():
+        return (2, int(tail), name)
+    return (3, 0, name)
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Render ``tracer`` as a Trace Event Format object."""
+    nodes = set()
+    for ev in tracer.events:
+        if ev[0] == "span" or ev[0] == "inst":
+            nodes.add(ev[1])
+        else:  # flow
+            nodes.add(ev[3])
+    for rec in tracer.cmds.values():
+        nodes.add(rec.node)
+    pids = {name: pid for pid, name in
+            enumerate(sorted(nodes, key=_node_order), start=1)}
+
+    events: List[tuple] = []  # (ts_us, order, event_dict)
+
+    def emit(ts: float, order: int, ev: Dict[str, Any]) -> None:
+        events.append((ts * _US, order, ev))
+
+    meta: List[Dict[str, Any]] = []
+    for name, pid in pids.items():
+        meta.append({"ph": "M", "pid": pid, "tid": 0,
+                     "name": "process_name", "args": {"name": name}})
+        meta.append({"ph": "M", "pid": pid, "tid": 0,
+                     "name": "thread_name", "args": {"name": "control"}})
+        meta.append({"ph": "M", "pid": pid, "tid": 1,
+                     "name": "thread_name", "args": {"name": "commands"}})
+
+    for ev in tracer.events:
+        tag = ev[0]
+        if tag == "span":
+            _, node, cat, name, ts, dur, order, args = ev
+            rec: Dict[str, Any] = {
+                "ph": "X", "pid": pids[node], "tid": 0, "cat": cat,
+                "name": name, "ts": ts * _US, "dur": dur * _US,
+            }
+            if args:
+                rec["args"] = args
+            emit(ts, order, rec)
+        elif tag == "inst":
+            _, node, cat, name, ts, order, args = ev
+            rec = {
+                "ph": "i", "pid": pids[node], "tid": 0, "cat": cat,
+                "name": name, "ts": ts * _US, "s": "t",
+            }
+            if args:
+                rec["args"] = args
+            emit(ts, order, rec)
+        else:  # flow
+            _, phase, key, node, ts, order, type_name = ev
+            src, dst, seq = key
+            cat = "copy" if type_name == "DataMessage" else "ctrl"
+            rec = {
+                "ph": phase, "pid": pids[node], "tid": 0, "cat": cat,
+                "name": f"{src}->{dst}", "id": f"{src}:{dst}:{seq}",
+                "ts": ts * _US,
+            }
+            if phase == "f":
+                rec["bp"] = "e"
+                # finish flows name the same cat as their start; the start
+                # event carried the message type, look it up lazily below
+            else:
+                rec["args"] = {"type": type_name}
+            emit(ts, order, rec)
+
+    # "f" events must carry the same cat as their "s"; patch the finishes
+    # whose start was a DataMessage.
+    copy_ids = {e[2]["id"] for e in events
+                if e[2]["ph"] == "s" and e[2]["cat"] == "copy"}
+    for _, _, rec in events:
+        if rec["ph"] == "f" and rec["id"] in copy_ids:
+            rec["cat"] = "copy"
+
+    # Command execution as async begin/end pairs on tid 1.
+    for rec in sorted(tracer.cmds.values(), key=lambda r: r.cid):
+        if rec.start is None or rec.complete is None:
+            continue
+        pid = pids[rec.node]
+        kind = _KIND_NAMES.get(rec.kind, str(rec.kind))
+        name = rec.function or kind
+        args = {"cid": rec.cid, "kind": kind, "run_seq": rec.run_seq,
+                "enqueue_ts": rec.enqueue * _US,
+                "ready_ts": None if rec.ready is None else rec.ready * _US,
+                "release": None if rec.release is None
+                else list(rec.release)}
+        emit(rec.start, rec.cid, {
+            "ph": "b", "pid": pid, "tid": 1, "cat": "command",
+            "name": name, "id": rec.cid, "ts": rec.start * _US,
+            "args": args,
+        })
+        emit(rec.complete, rec.cid, {
+            "ph": "e", "pid": pid, "tid": 1, "cat": "command",
+            "name": name, "id": rec.cid, "ts": rec.complete * _US,
+        })
+
+    events.sort(key=lambda item: (item[0], item[1]))
+    trace_events = meta + [rec for _, _, rec in events]
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "end_time_s": tracer.end_time(),
+            "commands": len(tracer.cmds),
+            "runs": len(tracer.runs),
+            "requests": len(tracer.requests),
+            "inter_worker_copies": len(tracer.copies),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> Dict[str, Any]:
+    """Write ``tracer`` to ``path`` as Perfetto-loadable JSON."""
+    doc = to_chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc

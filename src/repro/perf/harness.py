@@ -40,12 +40,18 @@ from ..core.validation import full_validate
 from ..core.worker_template import generate_worker_templates, instantiate_entries
 from ..nimbus import NimbusCluster
 from ..nimbus.data import LogicalObject, ObjectDirectory
+from ..obs import snapshot_metrics
 from ..sim.engine import Simulator
 
 #: v2 adds the ``patch_rotation`` workload (patch-cache coverage), the
 #: per-workload ``allocations`` section, and the compiled-vs-interpreted
-#: instantiation microbenchmark
-SCHEMA_VERSION = 2
+#: instantiation microbenchmark.
+#: v3 adds the per-workload ``metrics_snapshot`` (the obs registry's
+#: versioned dump of every Metrics counter/series/interval, taken at the
+#: scale's largest worker count) and pins tracing off in every timed run
+#: so the wall-clock gate proves the trace-off overhead budget even when
+#: REPRO_TRACE is set in the environment.
+SCHEMA_VERSION = 3
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -91,21 +97,29 @@ def _build_cluster(workload: str, num_workers: int,
                    iterations: int) -> Tuple[NimbusCluster, Any]:
     app_cls, spec_cls, blocking = WORKLOADS[workload]
     app = app_cls(spec_cls(num_workers=num_workers, iterations=iterations))
+    # trace=False (not None): the harness measures the trace-off overhead
+    # budget, so a REPRO_TRACE=1 environment must not turn tracing on here
     cluster = NimbusCluster(num_workers, app.program(blocking=blocking),
-                            registry=app.registry)
+                            registry=app.registry, trace=False)
     return cluster, app
 
 
 def timed_workload(workload: str, num_workers: int,
-                   iterations: int = ITERATIONS) -> Dict[str, Any]:
-    """Run one harness Nimbus configuration and time it."""
+                   iterations: int = ITERATIONS,
+                   capture_metrics: bool = False) -> Dict[str, Any]:
+    """Run one harness Nimbus configuration and time it.
+
+    With ``capture_metrics`` the row also carries a ``metrics_snapshot``:
+    the obs registry's versioned dump of every counter/series/interval
+    (taken after the run, so it costs no timed wall clock).
+    """
     cluster, app = _build_cluster(workload, num_workers, iterations)
     start = time.perf_counter()
     cluster.run_until_finished(max_seconds=1e6)
     wall = time.perf_counter() - start
     block_id = app.iteration_block.block_id
     skip = iterations // 2
-    return {
+    row = {
         "workers": num_workers,
         "wall_seconds": round(wall, 4),
         "events": cluster.sim.events_run,
@@ -118,6 +132,9 @@ def timed_workload(workload: str, num_workers: int,
         "counters": {name: cluster.metrics.count(name)
                      for name in DECISION_COUNTERS},
     }
+    if capture_metrics:
+        row["metrics_snapshot"] = snapshot_metrics(cluster.metrics)
+    return row
 
 
 def workload_allocations(workload: str, num_workers: int,
@@ -337,8 +354,18 @@ def run_harness(scale: str = "paper",
     workloads: Dict[str, List[Dict[str, Any]]] = {}
     speedup: Dict[str, float] = {}
     allocations: Dict[str, Dict[str, int]] = {}
+    metrics_snapshots: Dict[str, Dict[str, Any]] = {}
     for workload in WORKLOADS:
-        rows = [timed_workload(workload, n) for n in worker_counts]
+        # full metrics snapshot only at the scale's largest count — one
+        # representative dump per workload keeps the BENCH file readable
+        rows = [timed_workload(workload, n,
+                               capture_metrics=(n == worker_counts[-1]))
+                for n in worker_counts]
+        for row in rows:
+            snap = row.pop("metrics_snapshot", None)
+            if snap is not None:
+                metrics_snapshots[workload] = {
+                    "workers": row["workers"], **snap}
         workloads[workload] = rows
         # tracemalloc pass at the scale's smallest count (tracing is slow)
         allocations[workload] = workload_allocations(workload,
@@ -354,6 +381,7 @@ def run_harness(scale: str = "paper",
         "iterations": ITERATIONS,
         "workloads": workloads,
         "allocations": allocations,
+        "metrics_snapshots": metrics_snapshots,
         "baseline_wall_seconds": BASELINE_WALL[scale],
         "speedup_vs_baseline": speedup,
     }

@@ -68,6 +68,9 @@ class Actor:
         self._charged: float = 0.0
         self._handler_start: float = 0.0
         self.busy_time: float = 0.0  # cumulative control-thread busy seconds
+        #: attached Tracer, or None (the common case — every hook site
+        #: guards with a single `is not None` check, nothing is allocated)
+        self._trace = None
 
     # ------------------------------------------------------------------
     # Messaging
@@ -116,6 +119,12 @@ class Actor:
         self._charged = 0.0
         self.busy_time += cost
         busy_until = self._busy_until = now + cost
+        if self._trace is not None:
+            self._trace.handler_span(
+                self.name,
+                msg.fn.__name__ if type(msg) is _Callback
+                else type(msg).__name__,
+                now, cost)
         if self._inbox:
             self._draining = True
             now = sim._now
@@ -153,6 +162,8 @@ class Actor:
         self._charged = 0.0
         self.busy_time += cost
         busy_until = self._busy_until = start + cost
+        if self._trace is not None:
+            self._trace.handler_span(self.name, fn.__name__, start, cost)
         if self._inbox:
             # the callback delivered to itself synchronously; resume the
             # normal drain loop exactly as _drain would
@@ -196,6 +207,12 @@ class Actor:
         self._charged = 0.0
         self.busy_time += cost
         busy_until = self._busy_until = start + cost
+        if self._trace is not None:
+            self._trace.handler_span(
+                self.name,
+                msg.fn.__name__ if type(msg) is _Callback
+                else type(msg).__name__,
+                start, cost)
         if inbox:
             now = sim._now
             sim.schedule_fast(busy_until if busy_until > now else now,

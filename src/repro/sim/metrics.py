@@ -69,7 +69,18 @@ class Metrics:
 
     # -- intervals ------------------------------------------------------
     def begin(self, name: str, time: float, key: Any = None, **labels: Any) -> Interval:
-        """Open an interval. ``key`` distinguishes concurrent spans."""
+        """Open an interval. ``key`` distinguishes concurrent spans.
+
+        Raises :class:`KeyError` when an interval with the same
+        ``(name, key)`` is already open — silently overwriting it would
+        leak the first span and corrupt every downstream breakdown.
+        """
+        prior = self._open.get((name, key))
+        if prior is not None:
+            raise KeyError(
+                f"interval {name!r} with key {key!r} is already open "
+                f"(begun at t={prior.start!r}, begun again at t={time!r}); "
+                f"end it first or use a distinct key")
         interval = Interval(name, time, labels)
         self._open[(name, key)] = interval
         return interval

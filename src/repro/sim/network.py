@@ -77,8 +77,23 @@ class Network:
         return actor
 
     def partition(self, actor_name: str) -> None:
-        """Cut an actor off from the network (used for failure injection)."""
+        """Cut an actor off from the network (used for failure injection).
+
+        Link reservations touching the actor are released immediately: a
+        dead TCP peer aborts in-flight transfers, so serialization time
+        charged to them must not delay the first message after a heal or
+        a crashed worker's restart.
+        """
         self.partitioned.add(actor_name)
+        self._clear_reservations(actor_name)
+
+    def _clear_reservations(self, actor_name: str) -> None:
+        """Drop link-busy state for every link into or out of ``actor_name``."""
+        link_free = self._link_free
+        stale = [key for key in link_free
+                 if key[0] == actor_name or key[1] == actor_name]
+        for key in stale:
+            del link_free[key]
 
     def heal(self, actor_name: str) -> None:
         """Reconnect a previously partitioned actor."""
@@ -103,7 +118,10 @@ class Network:
                  extra_delay: float = 0.0) -> None:
         """Charge the link and schedule delivery (shared with chaos wrappers)."""
         self.messages_sent += 1
-        size = getattr(msg, "size_bytes", 0)
+        # Sized messages are mandatory: every Message carries size_bytes
+        # (the class default covers bare control signals). An AttributeError
+        # here means a non-Message object reached the network layer.
+        size = msg.size_bytes
         self.bytes_sent += size
         if src is dst:
             arrive = depart + self.loopback_latency

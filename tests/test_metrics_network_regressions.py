@@ -1,0 +1,187 @@
+"""Regression tests for the metrics/network edge-case bug batch.
+
+Four bugs fixed alongside the observability layer, each pinned here:
+
+1. ``Metrics.begin`` silently overwrote an already-open interval with the
+   same ``(name, key)``, leaking the first span and corrupting every
+   downstream breakdown;
+2. ``Network._link_free`` kept stale link reservations across
+   ``partition()``/``heal()`` and chaos crash/restart, so the first
+   transfer after recovery queued behind serialization time charged to a
+   dead peer;
+3. ``Network._deliver`` charged zero bytes for messages lacking
+   ``size_bytes`` (a ``getattr`` default), silently exempting them from
+   the bandwidth model — ``JobRestored`` rode that hole;
+4. ``task_throughput`` returned 0.0 for a zero-length steady-state span,
+   indistinguishable from a genuinely measured zero rate.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import task_throughput
+from repro.chaos import ChaosNetwork, FaultPlan
+from repro.core.spec import BlockSpec, LogicalTask, StageSpec
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+from repro.sim.actor import Actor, Message
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+
+from .helpers import combine_registry, simple_define
+
+
+class Payload(Message):
+    def __init__(self, tag, size_bytes):
+        self.tag = tag
+        self.size_bytes = size_bytes
+
+
+class Sink(Actor):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def handle(self, msg):
+        self.arrivals.append((self.sim.now, msg.tag))
+
+
+def two_actor_net(net_cls=Network, plan=None, latency=1e-3, bandwidth=1e6):
+    sim = Simulator()
+    args = (sim,) if plan is None else (sim, plan)
+    net = net_cls(*args, latency=latency, bandwidth=bandwidth)
+    src = net.attach(Sink(sim, "src"))
+    dst = net.attach(Sink(sim, "dst"))
+    return sim, net, src, dst
+
+
+# ---------------------------------------------------------------------------
+# Bug 1: duplicate-open interval
+# ---------------------------------------------------------------------------
+def test_metrics_begin_rejects_duplicate_open_interval():
+    metrics = Metrics()
+    metrics.begin("iteration", 1.0, key=7)
+    with pytest.raises(KeyError, match="already open"):
+        metrics.begin("iteration", 2.0, key=7)
+    # the original span survived the rejected re-open
+    interval = metrics.end("iteration", 3.0, key=7)
+    assert interval.start == 1.0 and interval.end == 3.0
+
+
+def test_metrics_begin_allows_distinct_keys_and_reopen_after_end():
+    metrics = Metrics()
+    metrics.begin("iteration", 1.0, key=1)
+    metrics.begin("iteration", 1.0, key=2)  # concurrent span, distinct key
+    metrics.begin("other", 1.0, key=1)      # same key, distinct name
+    metrics.end("iteration", 2.0, key=1)
+    metrics.begin("iteration", 2.5, key=1)  # reopening after end is fine
+    metrics.end("iteration", 3.0, key=1)
+    assert metrics.durations("iteration") == [1.0, 0.5]
+
+
+# ---------------------------------------------------------------------------
+# Bug 2: stale link reservations across partition / crash
+# ---------------------------------------------------------------------------
+def test_partition_clears_link_reservations():
+    sim, net, src, dst = two_actor_net()
+    # a 2-second transfer books the src->dst link far into the future
+    net.transmit(src, dst, Payload("big", size_bytes=2_000_000), depart=0.0)
+    assert net._link_free[("src", "dst")] == pytest.approx(2.0)
+
+    net.partition("dst")
+    assert all("dst" not in key for key in net._link_free)
+
+    # after healing, a new transfer is not queued behind the aborted one
+    net.heal("dst")
+    net.transmit(src, dst, Payload("small", size_bytes=1000), depart=0.0)
+    sim.run()
+    arrivals = [(t, tag) for t, tag in dst.arrivals if tag == "small"]
+    assert arrivals == [(pytest.approx(1000 / 1e6 + 1e-3), "small")]
+
+
+def test_scripted_pause_clears_reservations_mid_run():
+    """The chaos "crash and restart" (pause_actor) goes through the same
+    partition path, so an in-flight transfer to the paused actor must not
+    delay the first message after the heal."""
+    plan = FaultPlan(seed=0).pause_actor(at=0.5, actor="dst", duration=0.25)
+    sim, net, src, dst = two_actor_net(ChaosNetwork, plan)
+    plan.apply_scripted(sim, net, {})
+    # booked just before the pause: would hold the link until t≈2.49
+    sim.schedule_at(0.49, net.transmit, src, dst,
+                    Payload("doomed", size_bytes=2_000_000), 0.49)
+    sim.schedule_at(0.80, net.transmit, src, dst,
+                    Payload("after-heal", size_bytes=1000), 0.80)
+    sim.run()
+    # the healed link must not inherit the aborted transfer's booking
+    arrivals = dict((tag, t) for t, tag in dst.arrivals)
+    assert arrivals["after-heal"] == pytest.approx(0.80 + 1000 / 1e6 + 1e-3)
+    assert net._link_free[("src", "dst")] == pytest.approx(0.801)
+
+
+def test_worker_crash_clears_its_link_reservations():
+    """Worker.fail routes through Network.partition, so a crashed worker's
+    half-sent copies release their link bookings immediately."""
+    block = BlockSpec("blk", [StageSpec("s0", [
+        LogicalTask("seed", read=(), write=(1,), param_slot="v"),
+    ])])
+
+    def program(job):
+        yield job.define(simple_define({1: ("o1", 8)}))
+        yield job.run(block, {"v": 3})
+
+    cluster = NimbusCluster(2, program, registry=combine_registry())
+    cluster.run_until_finished(max_seconds=1e5)
+    net = cluster.network
+    name = cluster.workers[1].name
+    net._link_free[(name, "worker-0")] = 1e9
+    net._link_free[("worker-0", name)] = 1e9
+    cluster.workers[1].fail()
+    assert all(name not in key for key in net._link_free)
+
+
+# ---------------------------------------------------------------------------
+# Bug 3: unsized messages slipped past the bandwidth model
+# ---------------------------------------------------------------------------
+def test_network_rejects_unsized_messages():
+    class NotAMessage:
+        pass
+
+    sim, net, src, dst = two_actor_net()
+    with pytest.raises(AttributeError):
+        net.transmit(src, dst, NotAMessage(), depart=0.0)
+
+
+def test_job_restored_size_scales_with_replay_history():
+    empty = P.JobRestored(1, [])
+    one = P.JobRestored(1, [("b", {"x": 1.0})])
+    two = P.JobRestored(1, [("b", {"x": 1.0, "y": 2.0}), ("c", {})])
+    assert empty.size_bytes == 64
+    assert one.size_bytes == 64 + 32 + 32
+    assert two.size_bytes == 64 + (32 + 64) + 32
+    # the size grows with the replay history instead of sitting on the
+    # generic Message default regardless of payload
+    assert empty.size_bytes < one.size_bytes < two.size_bytes
+
+
+# ---------------------------------------------------------------------------
+# Bug 4: zero-length span must not read as zero throughput
+# ---------------------------------------------------------------------------
+def _degenerate_metrics(span_end: float) -> Metrics:
+    metrics = Metrics()
+    for request_id in (1, 2, 3):
+        metrics.begin("driver_block", 5.0, key=request_id,
+                      block_id="blk", request_id=request_id)
+        metrics.end("driver_block", span_end, key=request_id)
+    return metrics
+
+
+def test_task_throughput_is_nan_for_zero_length_span():
+    throughput = task_throughput(_degenerate_metrics(5.0), "blk")
+    assert math.isnan(throughput)
+
+
+def test_task_throughput_stays_finite_for_real_spans():
+    throughput = task_throughput(_degenerate_metrics(6.0), "blk")
+    assert throughput == 0.0  # no "block" records -> zero tasks, real span

@@ -1,0 +1,273 @@
+"""Tests for the observability layer: tracer, exporter, critical path,
+and the metrics-registry snapshot.
+
+The two load-bearing guarantees:
+
+* **bit-identity** — tracing is pure observation. A traced run's virtual
+  results (iteration times, decision counters, chaos fault schedules) are
+  bit-identical to an untraced run across seeds.
+* **exporter stability** — the Chrome ``trace_event`` JSON follows the
+  format's schema (checked against a golden file and structurally on a
+  real run) so Perfetto keeps loading it.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.analysis import critical_path, mean_iteration_time, render_critical_path
+from repro.apps import LRApp, LRSpec
+from repro.chaos import FaultPlan
+from repro.nimbus import NimbusCluster
+from repro.obs import (
+    Tracer,
+    snapshot_metrics,
+    to_chrome_trace,
+    trace_enabled_default,
+)
+from repro.obs import trace as trace_mod
+from repro.sim.metrics import Metrics
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_TRACE = os.path.join(DATA_DIR, "golden_trace.json")
+
+LR_BLOCK = "lr.iteration"
+
+
+def run_lr(trace, seed=0, chaos_seed=None, workers=3, iterations=6):
+    spec = LRSpec(num_workers=workers, iterations=iterations,
+                  partitions_per_worker=4)
+    app = LRApp(spec)
+    plan = (None if chaos_seed is None
+            else FaultPlan.from_profile("lossy", seed=chaos_seed))
+    cluster = NimbusCluster(workers, app.program(blocking=False),
+                            registry=app.registry, seed=seed,
+                            chaos_plan=plan, trace=trace)
+    cluster.run_until_finished(max_seconds=1e6)
+    return cluster
+
+
+def virtual_results(cluster):
+    return (
+        mean_iteration_time(cluster.metrics, LR_BLOCK, skip=2),
+        cluster.sim.now,
+        cluster.sim.events_run,
+        cluster.metrics.counters_snapshot(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Off by default, zero footprint when off
+# ---------------------------------------------------------------------------
+def test_tracing_is_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.setattr(trace_mod, "TRACE_ENABLED", False)
+    assert not trace_enabled_default()
+    cluster = run_lr(trace=None, iterations=4)
+    assert cluster.tracer is None
+    assert cluster.controller._trace is None
+    assert all(w._trace is None for w in cluster.workers.values())
+
+
+def test_env_variable_enables_tracing(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert trace_enabled_default()
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    monkeypatch.setattr(trace_mod, "TRACE_ENABLED", False)
+    assert not trace_enabled_default()
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: traced == untraced, across seeds, with and without chaos
+# ---------------------------------------------------------------------------
+def test_traced_runs_are_bit_identical_across_seeds():
+    for seed in range(10):
+        untraced = run_lr(trace=False, seed=seed)
+        traced = run_lr(trace=True, seed=seed)
+        assert virtual_results(traced) == virtual_results(untraced), \
+            f"seed {seed}: tracing changed the simulation"
+        # and the tracer actually recorded the run
+        assert traced.tracer.cmds and traced.tracer.runs
+        assert traced.tracer.finish_time == traced.sim.now
+
+
+def test_traced_chaos_runs_keep_the_fault_schedule():
+    for chaos_seed in (0, 1, 2):
+        untraced = run_lr(trace=False, chaos_seed=chaos_seed)
+        traced = run_lr(trace=True, chaos_seed=chaos_seed)
+        assert traced.network.fault_log == untraced.network.fault_log, \
+            f"chaos seed {chaos_seed}: tracing perturbed the fault schedule"
+        assert virtual_results(traced) == virtual_results(untraced)
+        assert traced.metrics.counters_snapshot("chaos.") == \
+            untraced.metrics.counters_snapshot("chaos.")
+        assert traced.metrics.counters_snapshot("protocol.") == \
+            untraced.metrics.counters_snapshot("protocol.")
+
+
+# ---------------------------------------------------------------------------
+# Exporter: golden file + structural schema on a real run
+# ---------------------------------------------------------------------------
+class FakeSim:
+    """Minimal engine stand-in: settable clock + order sequence."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._seq = 0
+
+    def at(self, now, seq):
+        self.now = now
+        self._seq = seq
+
+    def order_key(self):
+        return (self.now, self._seq)
+
+
+def build_golden_tracer() -> Tracer:
+    """A tiny hand-scripted run covering every event family the exporter
+    handles: spans, instants, flows (ctrl + copy), command async pairs,
+    copies, runs, and requests. Timestamps are exact binary floats so the
+    golden JSON is platform-stable."""
+    sim = FakeSim()
+    tracer = Tracer(sim)
+    sim.at(0.0, 1)
+    tracer.block_submit(1, "blk", None)
+    tracer.flow_send("driver", "controller", 1, "SubmitBlock")
+    sim.at(0.001953125, 2)
+    tracer.flow_recv("driver", "controller", 1)
+    tracer.run_begin(1, "blk", "central", 1, 2, 0.001953125)
+    tracer.flow_send("controller", "worker-0", 1, "DispatchCommandBatch")
+    tracer.run_decided(1, 0.00390625)
+    tracer.handler_span("controller", "SubmitBlock", 0.001953125, 0.001953125)
+    sim.at(0.0078125, 3)
+    tracer.flow_recv("controller", "worker-0", 1)
+    tracer.cmd_enqueue(10, 0, "lr.gradient", "worker-0", 1)   # TASK
+    tracer.cmd_ready(10, None)
+    tracer.cmd_enqueue(11, 1, None, "worker-0", 1)            # SEND
+    sim.at(0.015625, 4)
+    tracer.cmd_start(10)
+    sim.at(0.03125, 5)
+    tracer.cmd_complete(10)
+    tracer.cmd_ready(11, ("cmd", 10))
+    tracer.cmd_start(11)
+    tracer.copy_send((1, 1, 0), 11, "worker-0", 4096)
+    tracer.flow_send("worker-0", "worker-1", 1, "DataMessage")
+    tracer.cmd_complete(11)
+    sim.at(0.046875, 6)
+    tracer.flow_recv("worker-0", "worker-1", 1)
+    tracer.copy_arrive((1, 1, 0), "worker-1")
+    tracer.instant("worker-1", "template", "template.install",
+                   block_id="blk", version=0, entries=2)
+    sim.at(0.0625, 7)
+    tracer.run_finish(1)
+    tracer.block_complete(1)
+    sim.at(0.078125, 8)
+    tracer.driver_finish()
+    return tracer
+
+
+def test_exporter_matches_golden_file():
+    actual = json.loads(json.dumps(to_chrome_trace(build_golden_tracer())))
+    with open(GOLDEN_TRACE) as fh:
+        expected = json.load(fh)
+    assert actual == expected
+
+
+def test_exporter_schema_on_a_real_run():
+    cluster = run_lr(trace=True)
+    doc = to_chrome_trace(cluster.tracer)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["commands"] == len(cluster.tracer.cmds)
+    assert doc["otherData"]["inter_worker_copies"] > 0
+
+    known_phases = {"M", "X", "i", "b", "e", "s", "f"}
+    pids = set()
+    for ev in events:
+        assert ev["ph"] in known_phases
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        assert "name" in ev
+        if ev["ph"] == "M":
+            pids.add(ev["pid"])
+            continue
+        assert ev["ts"] >= 0.0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+        if ev["ph"] in ("b", "e", "s", "f"):
+            assert "id" in ev
+        assert ev["pid"] in pids  # every event's process has metadata
+
+    # async begin/end pairs balance per command id
+    begins = [ev["id"] for ev in events if ev["ph"] == "b"]
+    ends = [ev["id"] for ev in events if ev["ph"] == "e"]
+    assert sorted(begins) == sorted(ends) and begins
+
+    # flow starts/finishes balance, and inter-worker copies produce "copy"
+    # flows (one per DataMessage) linking sender to receiver
+    flow_starts = {ev["id"] for ev in events if ev["ph"] == "s"}
+    flow_ends = {ev["id"] for ev in events if ev["ph"] == "f"}
+    assert flow_ends <= flow_starts
+    copy_flows = [ev for ev in events
+                  if ev["ph"] == "s" and ev["cat"] == "copy"]
+    assert len(copy_flows) >= doc["otherData"]["inter_worker_copies"]
+
+    # timestamps are sorted (ties broken by engine order at export time)
+    ts = [ev["ts"] for ev in events if ev["ph"] != "M"]
+    assert ts == sorted(ts)
+
+
+# ---------------------------------------------------------------------------
+# Critical path
+# ---------------------------------------------------------------------------
+def test_critical_path_attributes_the_wall_clock():
+    cluster = run_lr(trace=True)
+    report = critical_path(cluster.tracer)
+    assert report.total == cluster.sim.now
+    assert not report.truncated
+    assert report.coverage >= 0.95
+    assert all(v >= 0.0 for v in report.segments.values())
+    assert report.segments["compute"] > 0.0
+    assert math.isclose(report.attributed
+                        + (report.total - report.attributed), report.total)
+    rendered = render_critical_path(report)
+    assert "critical path" in rendered and "attributed" in rendered
+
+
+def test_critical_path_of_empty_trace_is_benign():
+    report = critical_path(Tracer(FakeSim()))
+    assert report.total == 0.0
+    assert report.coverage == 1.0
+    assert report.chain == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics-registry snapshot
+# ---------------------------------------------------------------------------
+def test_snapshot_metrics_summarizes_everything():
+    metrics = Metrics()
+    metrics.incr("tasks", 3)
+    metrics.sample("queue_depth", 1.0, 4.0)
+    metrics.sample("queue_depth", 2.0, 6.0)
+    metrics.begin("iteration", 0.0, key=1)
+    metrics.end("iteration", 2.0, key=1)
+    metrics.begin("iteration", 3.0, key=2)  # left open on purpose
+    snap = snapshot_metrics(metrics)
+    assert snap["snapshot_version"] == 1
+    assert snap["counters"] == {"tasks": 3.0}
+    assert snap["series"]["queue_depth"] == {
+        "count": 2, "min": 4.0, "max": 6.0, "mean": 5.0,
+        "first_t": 1.0, "last_t": 2.0,
+    }
+    assert snap["intervals"]["iteration"]["count"] == 1
+    assert snap["intervals"]["iteration"]["mean"] == 2.0
+    assert snap["intervals"]["iteration"]["open"] == 1
+
+
+def test_snapshot_of_a_real_run_round_trips_through_json():
+    cluster = run_lr(trace=False, iterations=4)
+    snap = snapshot_metrics(cluster.metrics)
+    assert snap["counters"] == cluster.metrics.counters_snapshot()
+    assert snap["intervals"]["driver_block"]["open"] == 0
+    assert json.loads(json.dumps(snap)) == snap
