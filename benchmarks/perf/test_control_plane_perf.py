@@ -169,11 +169,29 @@ def test_metrics_snapshot_embedded_per_workload(report):
         assert snap["intervals"]["driver_block"]["open"] == 0, workload
 
 
+def test_rebalance_section_shows_straggler_recovery(report):
+    """Schema v4: the automated-fig09 run recovers from a 2x chaos-injected
+    straggler within 10 iterations via template edits, while the
+    rebalancer-off control run never does."""
+    section = report["rebalance"]
+    auto, control = section["auto"], section["control"]
+    assert auto["converged"] is True
+    assert auto["iterations_to_recover"] is not None
+    assert auto["iterations_to_recover"] <= 10
+    assert auto["recovery_ratio"] <= auto["recovery_slack"]
+    assert auto["mechanisms"] == ["edits"]
+    assert auto["worker_template_regenerations"] == 0.0
+    assert auto["moves"] > 0
+    assert control["converged"] is False
+    assert control["moves"] == 0
+    assert control["recovery_ratio"] > auto["recovery_slack"]
+
+
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 3
+    assert doc["schema_version"] == 4
     assert SCALE in doc["scales"]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
@@ -181,3 +199,4 @@ def test_bench_file_is_updated_last(report):
         doc["scales"][SCALE]["workloads"].keys()
     assert doc["scales"][SCALE]["metrics_snapshots"].keys() == \
         doc["scales"][SCALE]["workloads"].keys()
+    assert doc["scales"][SCALE]["rebalance"]["auto"]["converged"] is True

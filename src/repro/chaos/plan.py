@@ -125,6 +125,18 @@ class FaultPlan:
         self.scripted.append((at, "pause", (actor, duration)))
         return self
 
+    def slow_worker(self, at: float, worker: int,
+                    scale: float) -> "FaultPlan":
+        """At time ``at``, scale ``worker``'s task durations by ``scale``.
+
+        Models a degraded machine (contended CPU, thermal throttling, a
+        noisy neighbor) rather than a dead one — the straggler the
+        adaptive rebalancer exists to route around (Fig. 10). ``scale``
+        may be < 1.0 to model recovery, or 1.0 to end an earlier slowdown.
+        """
+        self.scripted.append((at, "slow", (worker, scale)))
+        return self
+
     def apply_scripted(self, sim, network, workers: Dict[int, object]) -> None:
         """Schedule the scripted events onto a wired cluster."""
         for at, kind, args in sorted(self.scripted):
@@ -135,8 +147,16 @@ class FaultPlan:
                 name, duration = args
                 sim.schedule_at(at, network.partition, name)
                 sim.schedule_at(at + duration, network.heal, name)
+            elif kind == "slow":
+                wid, scale = args
+                sim.schedule_at(at, self._set_duration_scale,
+                                workers[wid], scale)
             else:  # pragma: no cover - guarded by the builder methods
                 raise ValueError(f"unknown scripted fault kind {kind!r}")
+
+    @staticmethod
+    def _set_duration_scale(worker, scale: float) -> None:
+        worker.duration_scale = scale
 
     # -- decision ------------------------------------------------------
     def decide(self, rng, src_name: str, dst_name: str,

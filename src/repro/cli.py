@@ -69,6 +69,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="LRU capacity of the controller patch cache "
                              "(default 256); nimbus only")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="enable the adaptive rebalancer (workers "
+                             "report per-task timings; the controller "
+                             "migrates tasks off stragglers via template "
+                             "edits); nimbus only")
+    parser.add_argument("--rebalance-threshold", type=float, default=1.4,
+                        metavar="X",
+                        help="straggler threshold: rebalance when a "
+                             "worker's load estimate exceeds X times the "
+                             "live-worker mean (default 1.4)")
     parser.add_argument("--trace", action="store_true",
                         help="record a command-lifecycle trace (also "
                              "enabled by REPRO_TRACE=1); nimbus only")
@@ -91,6 +101,12 @@ def _cluster_kwargs(args) -> dict:
             )
         kwargs["chaos_plan"] = FaultPlan.from_profile(
             args.chaos_profile, seed=args.chaos_seed)
+    if getattr(args, "rebalance", False):
+        if args.system != "nimbus":
+            raise SystemExit("--rebalance requires --system nimbus (the "
+                             "baselines cannot edit installed templates)")
+        kwargs["rebalance"] = True
+        kwargs["rebalance_threshold"] = args.rebalance_threshold
     if getattr(args, "trace", False):
         if args.system != "nimbus":
             raise SystemExit("--trace requires --system nimbus (the "
@@ -353,6 +369,40 @@ def cmd_perf(args) -> None:
         print(f"wrote {path}")
 
 
+def cmd_rebalance(args) -> None:
+    from .perf.rebalance_bench import run_fig09_auto
+
+    result = run_fig09_auto(
+        num_workers=args.workers,
+        iterations=args.iterations,
+        seed=args.seed,
+        scale=args.scale,
+        fault_iteration=args.fault_iteration,
+        rebalance=not args.off,
+    )
+    print(f"automated fig09: {result['workers']} workers, "
+          f"{result['iterations']} iterations, "
+          f"{result['scale']}x straggler (worker {result['straggler']}) "
+          f"injected after iteration {result['fault_iteration']}, "
+          f"rebalancer {'OFF' if args.off else 'ON'}")
+    rows = [
+        ["pre-fault iteration (ms)",
+         f"{result['pre_fault_iteration_time'] * 1000:.2f}"],
+        ["post-fault peak (ms)", f"{result['post_fault_peak'] * 1000:.2f}"],
+        ["recovered iteration (ms)",
+         f"{result['recovered_iteration_time'] * 1000:.2f}"],
+        ["recovery ratio", f"{result['recovery_ratio']:.3f}"],
+        ["iterations to recover",
+         "never" if result["iterations_to_recover"] is None
+         else str(result["iterations_to_recover"])],
+        ["decisions", str(result["decisions"])],
+        ["moves", str(result["moves"])],
+        ["mechanisms", ", ".join(result["mechanisms"]) or "-"],
+        ["converged", str(result["converged"])],
+    ]
+    print(render_table("straggler recovery", ["metric", "value"], rows))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -434,6 +484,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output JSON path "
                             "(default trace_<workload>.json)")
     trace.set_defaults(fn=cmd_trace)
+
+    reb = sub.add_parser(
+        "rebalance", help="automated fig09: inject a straggler mid-run and "
+                          "let the adaptive rebalancer route around it")
+    reb.add_argument("--workers", type=int, default=16)
+    reb.add_argument("--iterations", type=int, default=40)
+    reb.add_argument("--seed", type=int, default=0)
+    reb.add_argument("--scale", type=float, default=2.0,
+                     help="straggler slowdown factor (default 2.0)")
+    reb.add_argument("--fault-iteration", type=int, default=12,
+                     help="inject the slowdown after this iteration")
+    reb.add_argument("--off", action="store_true",
+                     help="control run: leave the rebalancer disabled")
+    reb.set_defaults(fn=cmd_rebalance)
 
     perf = sub.add_parser(
         "perf", help="wall-clock benchmark harness "

@@ -93,6 +93,46 @@ def _sole_reader(entries: List[Optional[TemplateEntry]], reader_idx: int,
     return True
 
 
+def migration_conflict(
+    template_set: WorkerTemplateSet,
+    ct_index: int,
+    dst: int,
+) -> Optional[str]:
+    """Non-mutating feasibility check for migrating ``ct_index`` to ``dst``.
+
+    Mirrors the validation :func:`plan_migration` performs without touching
+    the template set. ``plan_migration`` mutates the controller half
+    immediately, so callers batching speculative moves (the adaptive
+    rebalancer) must filter candidates *before* committing — a mid-batch
+    :class:`MigrationError` would leave the halves inconsistent. Returns
+    ``None`` when the move is safe, else a human-readable reason.
+    """
+    location = template_set.task_locations.get(ct_index)
+    if location is None:
+        return f"no task with controller index {ct_index}"
+    src, src_idx = location
+    if src == dst:
+        return "task already on destination"
+    src_entries = template_set.entries[src]
+    task = src_entries[src_idx]
+    if task is None or task.kind != CommandKind.TASK:
+        return f"entry {src_idx} on worker {src} is not a task"
+    if len(task.write) != 1:
+        return f"task writes {task.write}; only single-write tasks migrate"
+    dst_preconds = template_set.preconditions.get(dst, frozenset())
+    touched = set(task.write)
+    for oid in task.read:
+        pre_block = _provider_of(src_entries, src_idx, oid) is None
+        if pre_block and oid in dst_preconds:
+            continue  # shared read: no copy, no conflict surface
+        touched.add(oid)
+    for entry in template_set.entries.get(dst, []):
+        if entry is not None and touched & (set(entry.read) | set(entry.write)):
+            return (f"destination worker {dst} already touches objects "
+                    f"{sorted(touched & (set(entry.read) | set(entry.write)))}")
+    return None
+
+
 def plan_migration(
     template_set: WorkerTemplateSet,
     ct_index: int,

@@ -43,6 +43,8 @@ class NimbusCluster:
         use_compiled: Optional[bool] = None,
         patch_cache_cap: int = 256,
         trace: Optional[bool] = None,
+        rebalance: bool = False,
+        rebalance_threshold: float = 1.4,
     ):
         self.sim = Simulator()
         self.metrics = Metrics()
@@ -102,6 +104,21 @@ class NimbusCluster:
             self.driver._trace = self.tracer
             for worker in self.workers.values():
                 worker._trace = self.tracer
+
+        # Adaptive rebalancing (opt-in): workers report per-task timings
+        # and the controller runs the observe→decide→edit loop. Tie-breaks
+        # draw from a dedicated seed substream, so enabling the rebalancer
+        # on a skew-free run leaves virtual results bit-identical.
+        self.rebalancer = None
+        if rebalance:
+            from ..sched import GreedyLeastLoaded, Rebalancer
+            self.rebalancer = Rebalancer(policy=GreedyLeastLoaded(
+                threshold=rebalance_threshold,
+                rng=self.seeds.stream("rebalance"),
+            ))
+            self.rebalancer.attach(self.controller)
+            for worker in self.workers.values():
+                worker.report_task_times = True
 
         if chaos_plan is not None:
             chaos_plan.apply_scripted(self.sim, self.network, self.workers)

@@ -127,6 +127,12 @@ class Controller(P.ReliableEndpoint, Actor):
         self._prev_block_key: Hashable = "job-start"
         # (block_id, version) -> {worker: [EditOp]} pending application
         self.pending_edits: Dict[Tuple[str, int], Dict[int, list]] = {}
+        # cached template versions invalidated while they had un-shipped
+        # edits: restore_workers must re-install these, never resurrect
+        self._divergent_wts: Set[Tuple[str, int]] = set()
+        #: optional adaptive rebalancer (sched.Rebalancer), attached by the
+        #: cluster when --rebalance is on; None leaves behavior untouched
+        self.rebalancer = None
 
         # id allocation
         self._next_cid = 1
@@ -645,12 +651,30 @@ class Controller(P.ReliableEndpoint, Actor):
     def migrate_tasks(self, block_id: str, moves: List[Tuple[int, int]]) -> str:
         """Move tasks (by controller-template entry index) to new workers.
 
-        Small changes become template edits; large ones re-install. Returns
-        which mechanism was used ("edits" or "reinstall").
+        Small changes become template edits; large ones re-install. Before
+        worker templates exist the block is still dispatched centrally from
+        the controller template, so updating the assignment is the whole
+        migration ("reassign"). Returns which mechanism was used
+        ("edits", "reinstall", or "reassign").
         """
-        template = self.templates[block_id]
-        version = self.current_version[block_id]
-        wts = self.worker_templates[(block_id, version)]
+        template = self.templates.get(block_id)
+        if template is None:
+            raise KeyError(
+                f"cannot migrate tasks of block {block_id!r}: no controller "
+                f"template captured yet (captured blocks: "
+                f"{sorted(self.templates)})"
+            )
+        version = self.current_version.get(block_id, 0)
+        wts = self.worker_templates.get((block_id, version))
+        if wts is None or self.phase.get(block_id, 0) < self.PHASE_WT_GENERATED:
+            for ct_index, dst in moves:
+                template.reassign(ct_index, dst)
+            if (block_id, version) in self.assignments:
+                self.assignments[(block_id, version)] = [
+                    e.worker for e in template.entries
+                ]
+            self.metrics.incr("migrations_reassigned")
+            return "reassign"
         if len(moves) <= self.edit_threshold * template.num_tasks:
             edits, total_ops, relocations = plan_migrations(
                 wts, moves, self.object_sizes())
@@ -686,7 +710,26 @@ class Controller(P.ReliableEndpoint, Actor):
         self._regenerate_worker_templates(block_id)
         return "reinstall"
 
+    def _drop_pending_edits(self, block_id: str) -> None:
+        """Forget queued-but-unshipped worker-half edits for ``block_id``.
+
+        Called whenever a regeneration, eviction, or restore supersedes the
+        assignment the edits were planned against. ``plan_migration``
+        applies edits to the *controller* half immediately, so a cached
+        :class:`WorkerTemplateSet` with dropped pending ops can never be
+        brought back in sync with the pre-edit halves workers already hold
+        — drop that cached version too, and let :meth:`restore_workers`
+        fall back to a regeneration if a snapshot still points at it.
+        """
+        for key in [k for k in self.pending_edits if k[0] == block_id]:
+            del self.pending_edits[key]
+            wts = self.worker_templates.get(key)
+            if wts is not None and wts.installed_on:
+                del self.worker_templates[key]
+                self._divergent_wts.add(key)
+
     def _regenerate_worker_templates(self, block_id: str) -> None:
+        self._drop_pending_edits(block_id)
         template = self.templates[block_id]
         template.assignment_version += 1
         version = template.assignment_version
@@ -711,19 +754,48 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def evict_workers(self, evicted: List[int]) -> None:
         """A cluster manager revoked workers: migrate their objects and
-        tasks to the survivors and regenerate worker templates (Fig. 9)."""
+        tasks to the survivors and regenerate worker templates (Fig. 9).
+
+        Re-homed objects are drained through the same ``build_patch``
+        relocation path :meth:`migrate_tasks` uses: the survivors must
+        physically hold the latest version of every object they now home,
+        because the revoked workers stop being schedulable the moment this
+        returns. The drain itself may copy *from* an evicted worker (it is
+        still reachable while the directive runs); afterwards no control
+        message targets an evicted worker until :meth:`restore_workers`.
+        """
         evicted_set = set(evicted)
         survivors = sorted(self.live_workers - evicted_set)
         if not survivors:
             raise RuntimeError("cannot evict every worker")
         self.live_workers -= evicted_set
         rr = 0
+        stale: List[Tuple[int, int]] = []
         for oid in list(self._all_placed_objects()):
             if self.placement.home(oid) in evicted_set:
-                self.placement.migrate(oid, survivors[rr % len(survivors)])
+                dst = survivors[rr % len(survivors)]
                 rr += 1
+                self.placement.migrate(oid, dst)
+                if not self.directory.is_fresh(oid, dst):
+                    stale.append((dst, oid))
+        if stale:
+            patch = build_patch(stale, self.directory, self.object_sizes(),
+                                patch_id=self.patch_cache.allocate_id())
+            instance_id = self._next_instance
+            self._next_instance += 1
+            for worker in patch.workers():
+                cid_base = self._alloc_cids(patch.entry_count(worker))
+                self.send_reliable(self.workers[worker], P.InstallPatch(
+                    patch.patch_id, patch.entries[worker], cid_base,
+                    instance_id))
+            patch.apply_to_directory(self.directory)
+            self.metrics.incr("relocation_copies", len(stale))
         for block_id, template in self.templates.items():
-            changed = False
+            # a block with queued edits must regenerate even if none of its
+            # template entries sit on an evicted worker: the queued ops (or
+            # the edited halves they target) may address evicted peers, and
+            # regeneration is what retires them (_drop_pending_edits)
+            changed = any(key[0] == block_id for key in self.pending_edits)
             for entry in template.entries:
                 if entry.worker in evicted_set:
                     entry.worker = self._assign_worker(entry.read, entry.write)
@@ -741,12 +813,26 @@ class Controller(P.ReliableEndpoint, Actor):
         for oid, home in placement_snapshot.items():
             self.placement.migrate(oid, home)
         for block_id, version in version_snapshot.items():
+            # queued edits were planned against assignments this restore is
+            # undoing — shipping them later would corrupt installed halves
+            self._drop_pending_edits(block_id)
             template = self.templates[block_id]
             assignment = self.assignments[(block_id, version)]
             for entry, worker in zip(template.entries, assignment):
                 entry.worker = worker
             self.current_version[block_id] = version
-            self.phase[block_id] = self.PHASE_WT_INSTALLED
+            if (block_id, version) in self.worker_templates:
+                self.phase[block_id] = self.PHASE_WT_INSTALLED
+            elif (block_id, version) in self._divergent_wts:
+                # the cached set for this version was invalidated while it
+                # had un-shipped edits; re-install instead of resurrecting
+                # worker halves that no longer match the controller half
+                self._regenerate_worker_templates(block_id)
+            else:
+                # worker templates were never generated for this version
+                # (the block was still pre-WT at snapshot time); rejoin the
+                # staircase so the next instantiation generates them fresh
+                self.phase[block_id] = self.PHASE_CT_READY
         self.validation_state.invalidate()
 
     def snapshot_placement(self) -> Dict[int, int]:
@@ -822,6 +908,12 @@ class Controller(P.ReliableEndpoint, Actor):
         run.outstanding -= 1
         run.compute_by_worker[msg.worker_id] = (
             run.compute_by_worker.get(msg.worker_id, 0.0) + msg.compute_time)
+        if self.rebalancer is not None:
+            # pure observation: no charge, no metrics, no RNG — a run with
+            # the rebalancer enabled but no skew stays bit-identical
+            self.rebalancer.observe_instance(
+                msg.block_id, msg.version, msg.worker_id,
+                msg.compute_time, msg.task_times)
         for oid, value in msg.values.items():
             if oid in run.return_cids:
                 name, _oid = run.return_cids[oid]
@@ -841,6 +933,9 @@ class Controller(P.ReliableEndpoint, Actor):
         self._results_history.append((run.block_id, dict(run.results)))
         self.send_reliable(self.driver, P.BlockComplete(
             run.block_id, run.seq, dict(run.results), run.request_id))
+        if (self.rebalancer is not None and run.mode == "template"
+                and not self._recovering and not self._checkpointing):
+            self.rebalancer.maybe_rebalance(run.block_id)
         self._blocks_since_checkpoint += 1
         if (self.checkpoint_every is not None
                 and self._blocks_since_checkpoint >= self.checkpoint_every

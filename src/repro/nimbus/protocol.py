@@ -278,17 +278,28 @@ class CommandCompleteBatch(Message):
 
 
 class InstanceComplete(Message):
-    """Per-block-instance completion (template path): one message per worker."""
+    """Per-block-instance completion (template path): one message per worker.
+
+    ``task_times`` optionally piggybacks per-task execution timings for the
+    adaptive rebalancer: {local entry index -> duration}. Timings ride in
+    the fixed 64-byte completion header (the worker already owes the
+    controller one completion per instance), so attaching them never
+    changes ``size_bytes`` — a rebalancer-enabled run that takes no action
+    stays bit-identical to a rebalancer-off run.
+    """
 
     def __init__(self, worker_id: int, block_id: str, instance_id: int,
                  block_seq: int, compute_time: float,
-                 values: Dict[int, Any]):
+                 values: Dict[int, Any], version: int = 0,
+                 task_times: Optional[Dict[int, float]] = None):
         self.worker_id = worker_id
         self.block_id = block_id
         self.instance_id = instance_id
         self.block_seq = block_seq
         self.compute_time = compute_time  # sum of task durations this instance
         self.values = values  # oid -> reported value
+        self.version = version  # worker-template version this instance ran
+        self.task_times = task_times  # local entry index -> duration
         self.size_bytes = 64 + 32 * len(values)
 
 

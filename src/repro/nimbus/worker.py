@@ -53,13 +53,19 @@ class DurableStorage:
 
 
 class _InstanceRecord:
-    """Per-block-instance completion bookkeeping."""
+    """Per-block-instance completion bookkeeping.
+
+    ``task_times`` is non-None only when the worker was asked to report
+    per-task timings (adaptive rebalancing): {local entry index ->
+    duration}, where the entry index is recovered as ``cid - cid_base``.
+    """
 
     __slots__ = ("block_id", "instance_id", "block_seq", "remaining",
-                 "compute_time", "values", "report_cids")
+                 "compute_time", "values", "report_cids", "version",
+                 "cid_base", "task_times")
 
     def __init__(self, block_id, instance_id, block_seq, remaining,
-                 report_cids):
+                 report_cids, version=0, cid_base=0, task_times=None):
         self.block_id = block_id
         self.instance_id = instance_id
         self.block_seq = block_seq
@@ -67,6 +73,9 @@ class _InstanceRecord:
         self.compute_time = 0.0
         self.values: Dict[int, Any] = {}
         self.report_cids = report_cids
+        self.version = version
+        self.cid_base = cid_base
+        self.task_times: Optional[Dict[int, float]] = task_times
 
 
 class Worker(P.ReliableEndpoint, Actor):
@@ -105,6 +114,11 @@ class Worker(P.ReliableEndpoint, Actor):
         self.storage = storage
         self.slots = slots
         self.duration_scale = duration_scale
+        #: when True, template instances collect per-task timings and
+        #: piggyback them on InstanceComplete (set by the cluster when the
+        #: adaptive rebalancer is enabled; off by default so the steady
+        #: hot path stays untouched)
+        self.report_task_times = False
         self.store = ObjectStore()
         self.peers: Dict[int, "Worker"] = {}  # attached by the cluster
 
@@ -274,6 +288,8 @@ class Worker(P.ReliableEndpoint, Actor):
         record = _InstanceRecord(
             msg.block_id, msg.instance_id, msg.block_seq,
             remaining=len(commands), report_cids=report_cids,
+            version=msg.version, cid_base=msg.cid_base,
+            task_times={} if self.report_task_times else None,
         )
         self._instances[key] = record
         meta_key = ("instance", key)
@@ -305,6 +321,8 @@ class Worker(P.ReliableEndpoint, Actor):
         record = _InstanceRecord(
             msg.block_id, msg.instance_id, msg.block_seq,
             remaining=m, report_cids=report_cids,
+            version=msg.version, cid_base=cid_base,
+            task_times={} if self.report_task_times else None,
         )
         self._instances[key] = record
         if m == 0:
@@ -798,6 +816,8 @@ class Worker(P.ReliableEndpoint, Actor):
             record.remaining -= 1
             if cmd.kind == CommandKind.TASK:
                 record.compute_time += duration
+                if record.task_times is not None:
+                    record.task_times[cid - record.cid_base] = duration
             if report and cmd.write:
                 record.values[cmd.write[0]] = self.store.get(cmd.write[0])
             if record.remaining == 0:
@@ -843,6 +863,7 @@ class Worker(P.ReliableEndpoint, Actor):
         self.send_reliable(self.controller, P.InstanceComplete(
             self.worker_id, record.block_id, record.instance_id,
             record.block_seq, record.compute_time, record.values,
+            version=record.version, task_times=record.task_times,
         ))
 
     # ------------------------------------------------------------------

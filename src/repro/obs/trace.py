@@ -7,6 +7,13 @@ install/instantiate/validate/patch spans. Everything is *pure observation*:
 no ``charge()``, no messages, no RNG draws — a traced run's virtual results
 are bit-identical to an untraced run (enforced by property tests).
 
+Span categories: ``handler`` (actor message/timer handlers), ``template``
+(generate/install/instantiate/validate/patch), and ``rebalance`` — one
+``rebalance.decision`` span per adaptive-rebalancer decision (see
+:mod:`repro.sched`), carrying the move count and the mechanism used
+(``edits``/``reinstall``/``reassign``) so straggler reactions show up on
+the controller row of the exported timeline.
+
 Overhead discipline
 -------------------
 Tracing is off by default. ``TRACE_ENABLED`` (module-level, set from env

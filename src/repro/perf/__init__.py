@@ -15,6 +15,7 @@ from .harness import (  # noqa: F401
     bench_instantiate_compiled,
     bench_path,
     instantiate_allocations,
+    rebalance_section,
     load_bench,
     run_harness,
     run_microbenchmarks,
@@ -22,3 +23,4 @@ from .harness import (  # noqa: F401
     workload_allocations,
     write_bench,
 )
+from .rebalance_bench import build_fig09_auto, run_fig09_auto  # noqa: F401

@@ -51,7 +51,12 @@ from ..sim.engine import Simulator
 #: scale's largest worker count) and pins tracing off in every timed run
 #: so the wall-clock gate proves the trace-off overhead budget even when
 #: REPRO_TRACE is set in the environment.
-SCHEMA_VERSION = 3
+#: v4 adds the ``rebalance`` section: the automated-fig09 straggler
+#: recovery run (adaptive rebalancer on vs the off control), recording
+#: pre/post-fault iteration times, iterations-to-recover, and the
+#: mechanism used (template edits, never reinstalls, in the shipped
+#: configuration).
+SCHEMA_VERSION = 4
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -342,6 +347,26 @@ def run_microbenchmarks(num_workers: int = 50) -> Dict[str, float]:
     }
 
 
+#: automated-fig09 configuration per scale (workers, iterations)
+REBALANCE_SCALES = {"paper": (16, 40), "small": (8, 30)}
+
+
+def rebalance_section(scale: str) -> Dict[str, Any]:
+    """Automated-fig09 straggler recovery: rebalancer on vs off control."""
+    from .rebalance_bench import run_fig09_auto
+
+    workers, iterations = REBALANCE_SCALES[scale]
+    t0 = time.perf_counter()
+    auto = run_fig09_auto(num_workers=workers, iterations=iterations)
+    control = run_fig09_auto(num_workers=workers, iterations=iterations,
+                             rebalance=False)
+    return {
+        "wall_seconds": round(time.perf_counter() - t0, 3),
+        "auto": auto,
+        "control": control,
+    }
+
+
 # ---------------------------------------------------------------------------
 # The full harness + BENCH json plumbing
 # ---------------------------------------------------------------------------
@@ -384,6 +409,7 @@ def run_harness(scale: str = "paper",
         "metrics_snapshots": metrics_snapshots,
         "baseline_wall_seconds": BASELINE_WALL[scale],
         "speedup_vs_baseline": speedup,
+        "rebalance": rebalance_section(scale),
     }
     if microbench:
         report["microbenchmarks"] = run_microbenchmarks()

@@ -1,0 +1,15 @@
+"""Adaptive scheduling: the measurement-driven rebalancing loop."""
+
+from .rebalance import (
+    GreedyLeastLoaded,
+    LoadTracker,
+    RebalancePolicy,
+    Rebalancer,
+)
+
+__all__ = [
+    "GreedyLeastLoaded",
+    "LoadTracker",
+    "RebalancePolicy",
+    "Rebalancer",
+]

@@ -1,0 +1,173 @@
+"""Regression tests for dynamic-scheduling lifecycle bugs.
+
+Three bugs found while closing the Fig. 9/10 loop, each with the failing
+scenario it was found under:
+
+1. **stale pending edits** — ``migrate_tasks`` queues worker-half edit
+   ops that ship with the next instantiation; if an eviction (and its
+   regeneration) landed first, the queued ops survived, and a later
+   restore could resurrect the cached pre-edit worker halves while the
+   controller half already contained the migration.
+2. **eviction left stale replicas** — ``evict_workers`` re-homed objects
+   without relocation copies, and left queued edit ops addressed to the
+   evicted workers.
+3. **bare KeyError** — ``migrate_tasks`` before worker templates exist
+   crashed on an internal lookup instead of failing descriptively (no
+   template at all) or falling back to a plain reassignment (template
+   captured, worker halves not yet generated).
+"""
+
+import pytest
+
+from repro.nimbus import NimbusCluster
+from repro.nimbus import protocol as P
+
+from .helpers import combine_registry, simple_define, worker_values
+from .test_dynamic import ACC, DATA, OUT, blocks, reference, run_with_directives
+
+
+def run_two_directives(iterations, at1, d1, at2, d2, num_workers=2):
+    """Like run_with_directives, but with two delivery points."""
+    seed_block, iter_block = blocks()
+    objects = {oid: (f"o{oid}", 8) for oid in DATA + OUT + [ACC]}
+    box = {}
+
+    def program(job):
+        yield job.define(simple_define(objects))
+        yield job.run(seed_block, {"v": 3})
+        for i in range(iterations):
+            if i == at1:
+                box["cluster"].controller.deliver(P.ManagerDirective(d1))
+            if i == at2:
+                box["cluster"].controller.deliver(P.ManagerDirective(d2))
+            yield job.run(iter_block)
+
+    cluster = NimbusCluster(num_workers, program, registry=combine_registry(),
+                            use_templates=True)
+    box["cluster"] = cluster
+    cluster.run_until_finished(max_seconds=1e5)
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Bug 1: pending edits must not survive regeneration / eviction / restore
+# ---------------------------------------------------------------------------
+def test_migrate_then_evict_then_restore_stays_consistent():
+    state = {}
+
+    def migrate_then_evict(controller):
+        controller.edit_threshold = 0.5
+        # queue worker-half edit ops (they ship on the *next* instantiation)
+        assert controller.migrate_tasks("iter", [(0, 1)]) == "edits"
+        assert controller.pending_edits
+        state["placement"] = controller.snapshot_placement()
+        state["versions"] = controller.snapshot_versions()
+        # the eviction regenerates before the queued ops ever ship: they
+        # must be dropped, along with the now-divergent cached version
+        controller.evict_workers([1])
+        assert not controller.pending_edits
+        assert ("iter", 0) not in controller.worker_templates
+
+    def restore(controller):
+        controller.restore_workers([1], state["placement"],
+                                   state["versions"])
+
+    cluster = run_two_directives(12, 5, migrate_then_evict, 9, restore)
+    expected = reference(12)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    controller = cluster.controller
+    assert not controller.pending_edits
+    # the restore could not reuse the invalidated version-0 cache: it
+    # re-installed fresh templates instead of resurrecting stale halves
+    assert controller.current_version["iter"] == 2
+    # evict regenerated seed + iter; restore regenerated iter once more
+    assert cluster.metrics.count("worker_template_regenerations") == 3
+
+
+def test_restore_without_divergence_still_reuses_cache():
+    """The bug-1 fix must not regress the happy path: a restore whose
+    snapshot version was never edited reuses the cached templates."""
+    state = {}
+
+    def evict(controller):
+        state["placement"] = controller.snapshot_placement()
+        state["versions"] = controller.snapshot_versions()
+        controller.evict_workers([1])
+
+    def restore(controller):
+        controller.restore_workers([1], state["placement"],
+                                   state["versions"])
+
+    cluster = run_two_directives(12, 5, evict, 9, restore)
+    expected = reference(12)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    assert cluster.controller.current_version["iter"] == 0
+    assert cluster.metrics.count("worker_template_regenerations") == 2
+
+
+# ---------------------------------------------------------------------------
+# Bug 2: eviction must relocate data and quiesce the evicted workers
+# ---------------------------------------------------------------------------
+def test_eviction_relocates_objects_and_quiesces_evicted_worker():
+    sends = []
+
+    def evict(controller):
+        controller.edit_threshold = 0.5
+        # queue edit ops addressed to worker 1, then evict it: the ops
+        # must never ship (regeneration drops them)
+        assert controller.migrate_tasks("iter", [(0, 1)]) == "edits"
+        before = controller.snapshot_placement()
+        controller.evict_workers([1])
+        after = controller.snapshot_placement()
+        moved = [oid for oid in before if before[oid] != after[oid]]
+        assert moved, "eviction re-homed nothing"
+        # survivors physically hold every object they now home
+        for oid in moved:
+            assert controller.directory.is_fresh(oid, after[oid]), \
+                f"object {oid} re-homed without a relocation copy"
+        # from here on, nothing may target the evicted worker
+        orig = controller.send_reliable
+
+        def spy(dest, msg):
+            sends.append((dest, type(msg).__name__))
+            return orig(dest, msg)
+
+        controller.send_reliable = spy
+
+    cluster = run_with_directives(8, directive_at=4, directive=evict)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    assert cluster.metrics.count("relocation_copies") > 0
+    evicted = cluster.workers[1]
+    offenders = [name for dest, name in sends if dest is evicted]
+    assert not offenders, \
+        f"control messages sent to the evicted worker: {offenders}"
+
+
+# ---------------------------------------------------------------------------
+# Bug 3: migrate_tasks before PHASE_WT_GENERATED
+# ---------------------------------------------------------------------------
+def test_migrate_before_capture_raises_descriptive_error():
+    cluster = NimbusCluster(2, lambda job: iter(()),
+                            registry=combine_registry())
+    with pytest.raises(KeyError) as exc:
+        cluster.controller.migrate_tasks("iter", [(0, 1)])
+    assert "no controller template captured" in str(exc.value)
+
+
+def test_migrate_before_worker_templates_falls_back_to_reassign():
+    def migrate(controller):
+        # one templated run so far: controller template captured, worker
+        # halves not yet generated
+        assert controller.phase["iter"] < controller.PHASE_WT_GENERATED
+        assert controller.migrate_tasks("iter", [(0, 1)]) == "reassign"
+
+    cluster = run_with_directives(8, directive_at=1, directive=migrate)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+    assert cluster.metrics.count("migrations_reassigned") == 1
+    # the reassignment stuck: worker templates were generated from the
+    # updated assignment, so task 0 runs on worker 1
+    version = cluster.controller.current_version["iter"]
+    wts = cluster.controller.worker_templates[("iter", version)]
+    assert wts.task_locations[0][0] == 1
