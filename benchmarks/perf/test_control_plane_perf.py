@@ -79,6 +79,24 @@ GOLDEN_ROTATION_DECISIONS = {
     "patch_cache_hits": 10.0,
 }
 
+#: schema v5: the multi-tenant job_arrival serving run. Both metrics are
+#: pure virtual-time quantities (task count / virtual seconds; nearest-rank
+#: p95 over virtual job latencies), so they gate exactly — any scheduling,
+#: fair-share, or admission change that shifts the co-run timeline shows
+#: up here.
+GOLDEN_SERVE = {
+    "paper": {
+        "workers": 16, "jobs": 9, "jobs_finished": 9, "jobs_rejected": 0,
+        "aggregate_task_throughput": 8048.613014649024,
+        "p95_job_latency": 0.3522761268945168,
+    },
+    "small": {
+        "workers": 8, "jobs": 6, "jobs_finished": 6, "jobs_rejected": 0,
+        "aggregate_task_throughput": 3513.293707274314,
+        "p95_job_latency": 0.32154639526607737,
+    },
+}
+
 
 @pytest.fixture(scope="module")
 def report():
@@ -187,11 +205,31 @@ def test_rebalance_section_shows_straggler_recovery(report):
     assert control["recovery_ratio"] > auto["recovery_slack"]
 
 
+def test_serve_section_gates_multitenant_metrics(report):
+    """Schema v5: the job_arrival serving run admits and finishes every
+    job in the Poisson mix, and its aggregate task throughput and p95 job
+    latency match the recorded virtual-time goldens bit for bit."""
+    golden = GOLDEN_SERVE[SCALE]
+    run = report["serve"]["job_arrival"]
+    assert run["workers"] == golden["workers"]
+    assert run["jobs"] == golden["jobs"]
+    assert run["jobs_finished"] == golden["jobs_finished"]
+    assert run["jobs_rejected"] == golden["jobs_rejected"]
+    assert run["aggregate_task_throughput"] == \
+        golden["aggregate_task_throughput"], \
+        "aggregate task throughput drifted"
+    assert run["p95_job_latency"] == golden["p95_job_latency"], \
+        "p95 job latency drifted"
+    assert 0 < run["mean_job_latency"] <= run["p95_job_latency"]
+    assert len(run["per_job"]) == run["jobs_finished"]
+    assert all(row["tasks_scheduled"] > 0 for row in run["per_job"])
+
+
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 4
+    assert doc["schema_version"] == 5
     assert SCALE in doc["scales"]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
@@ -200,3 +238,5 @@ def test_bench_file_is_updated_last(report):
     assert doc["scales"][SCALE]["metrics_snapshots"].keys() == \
         doc["scales"][SCALE]["workloads"].keys()
     assert doc["scales"][SCALE]["rebalance"]["auto"]["converged"] is True
+    assert doc["scales"][SCALE]["serve"]["job_arrival"]["jobs_finished"] == \
+        GOLDEN_SERVE[SCALE]["jobs_finished"]

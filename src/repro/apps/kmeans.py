@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.spec import BlockSpec, LogicalTask, StageSpec
+from ..nimbus.multijob import OID_STRIDE
 from ..nimbus.runtime import FunctionRegistry
 from .datasets import Variables, block_home, make_cluster_data
 from .reductions import ReductionTree
@@ -182,7 +183,9 @@ def _load_partition(spec: KMeansSpec, kdata_base_oid: int):
         spec.num_clusters, spec.seed)
 
     def load(ctx):
-        partition = ctx.write_set[0] - kdata_base_oid
+        # the runtime oid may carry a per-job stride offset (multi-tenant
+        # namespacing); the modulo recovers the job-local partition index
+        partition = (ctx.write_set[0] - kdata_base_oid) % OID_STRIDE
         ctx.write(ctx.write_set[0], partitions[partition])
 
     return load

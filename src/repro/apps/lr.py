@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.spec import BlockSpec, LogicalTask, StageSpec
+from ..nimbus.multijob import OID_STRIDE
 from ..nimbus.runtime import FunctionRegistry
 from .datasets import Variables, block_home, make_regression_data
 from .reductions import ReductionTree
@@ -206,8 +207,10 @@ def _load_partition(spec: LRSpec, tdata_base_oid: int):
 
     def load(ctx):
         # tdata object ids are consecutive; recover the partition index
-        # from the written oid so loading is placement-independent
-        partition = ctx.write_set[0] - tdata_base_oid
+        # from the written oid so loading is placement-independent. Under
+        # multi-tenant serving the runtime oid is the job-local id plus a
+        # per-job stride multiple, which the modulo removes.
+        partition = (ctx.write_set[0] - tdata_base_oid) % OID_STRIDE
         ctx.write(ctx.write_set[0], partitions[partition])
 
     return load

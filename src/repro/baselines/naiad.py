@@ -38,7 +38,7 @@ from ..core.patching import build_patch
 class NaiadController(Controller):
     """Controller variant modeling Naiad's static-dataflow control plane."""
 
-    def _on_submit_block(self, msg: P.SubmitBlock) -> None:
+    def _on_submit_block(self, ctx, msg: P.SubmitBlock) -> None:
         """First submission of a block: compile + install the data flow.
 
         Charged at the paper's measured rate (~28.75 µs/task, i.e. 230 ms
@@ -52,7 +52,7 @@ class NaiadController(Controller):
             raise RuntimeError("Naiad data flow already installed")
         self.charge(self.costs.naiad_install_per_task * block.num_tasks)
         assignment = [
-            self._assign_worker(task.read, task.write)
+            self._assign_worker(ctx, task.read, task.write)
             for _stage, task in block.all_tasks()
         ]
         template = ControllerTemplate.from_block(block, assignment)
@@ -62,7 +62,7 @@ class NaiadController(Controller):
         self.assignments[(block.block_id, 0)] = assignment
         wts = generate_worker_templates(template, self.object_sizes(), 0)
         self.worker_templates[wts.key] = wts
-        self._install_worker_halves(wts)
+        self._install_worker_halves(ctx, wts)
         self.metrics.incr("naiad_installs")
 
         # initial data distribution: part of graph installation, not a
@@ -82,16 +82,16 @@ class NaiadController(Controller):
             patch.apply_to_directory(self.directory)
 
         instance = template.instantiate(0, msg.params)
-        self._instantiate_worker_templates(wts, instance, msg.params,
+        self._instantiate_worker_templates(ctx, wts, instance, msg.params,
                                            msg.request_id)
 
-    def _on_instantiate_block(self, msg: P.InstantiateBlock) -> None:
+    def _on_instantiate_block(self, ctx, msg: P.InstantiateBlock) -> None:
         """Epochs run with no central validation, patching, or edits."""
         template = self.templates[msg.block_id]
         version = self.current_version[msg.block_id]
         wts = self.worker_templates[(msg.block_id, version)]
         instance = template.instantiate(msg.task_id_base, msg.params)
-        self._instantiate_worker_templates(wts, instance, msg.params,
+        self._instantiate_worker_templates(ctx, wts, instance, msg.params,
                                            msg.request_id)
         self.metrics.incr("tasks_scheduled", 0)  # already counted inside
 
@@ -105,7 +105,7 @@ class NaiadController(Controller):
         wts = generate_worker_templates(
             template, self.object_sizes(), version)
         self.worker_templates[wts.key] = wts
-        self._install_worker_halves(wts)
+        self._install_worker_halves(self._job0, wts)
         self.assignments[(block_id, version)] = [
             e.worker for e in template.entries
         ]
@@ -125,7 +125,7 @@ class NaiadController(Controller):
             patch.apply_to_directory(self.directory)
         self.metrics.incr("naiad_installs")
 
-    def migrate_tasks(self, block_id: str, moves) -> str:
+    def migrate_tasks(self, block_id: str, moves, job_id: int = 0) -> str:
         """Naiad cannot edit an installed graph: every change reinstalls."""
         template = self.templates[block_id]
         for ct_index, dst in moves:

@@ -54,9 +54,9 @@ class SparkController(Controller):
         self._active: Optional[Tuple] = None
         self._stage_outstanding = 0
 
-    def _on_submit_block(self, msg: P.SubmitBlock) -> None:
+    def _on_submit_block(self, ctx, msg: P.SubmitBlock) -> None:
         self.charge(self.costs.message_handling)
-        run = self._new_run(msg.block.block_id, msg.block.num_tasks,
+        run = self._new_run(ctx, msg.block.block_id, msg.block.num_tasks,
                             "central", request_id=msg.request_id)
         run.open = True
         returns_rev = {oid: name for name, oid in msg.block.returns.items()}
@@ -84,7 +84,7 @@ class SparkController(Controller):
             if not stages:
                 run.open = False  # last stage: completion may close the run
             for task, params in tasks:
-                worker = self._assign_worker(task.read, task.write)
+                worker = self._assign_worker(run.ctx, task.read, task.write)
                 self.charge(self.costs.central_schedule_per_task)
                 self._schedule_task_centrally(
                     run, task.function, task.read, task.write, worker,
@@ -106,7 +106,7 @@ class SparkController(Controller):
                         self._active = None
                     self._pump()
 
-    def _on_instantiate_block(self, msg: P.InstantiateBlock) -> None:
+    def _on_instantiate_block(self, ctx, msg: P.InstantiateBlock) -> None:
         raise RuntimeError("Spark has no templates to instantiate")
 
 

@@ -403,6 +403,47 @@ def cmd_rebalance(args) -> None:
     print(render_table("straggler recovery", ["metric", "value"], rows))
 
 
+def cmd_serve(args) -> None:
+    from .perf.serve_bench import run_job_arrival
+
+    result = run_job_arrival(
+        num_workers=args.workers,
+        num_jobs=args.jobs,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        iterations=args.iterations,
+        max_concurrent=args.max_concurrent,
+        queue_cap=args.queue_cap,
+        dispatch_inflight_cap=args.dispatch_cap,
+    )
+    print(f"job_arrival: {result['jobs']} jobs over {result['workers']} "
+          f"workers (concurrency cap {result['max_concurrent']}, queue cap "
+          f"{result['queue_cap']}, dispatch cap "
+          f"{result['dispatch_inflight_cap']})")
+    rows = [
+        [str(job["job_id"]), job["workload"], f"{job['submit_time']:.4f}",
+         "-" if job["start_time"] is None else f"{job['start_time']:.4f}",
+         "-" if job["latency"] is None else f"{job['latency'] * 1000:.2f}"]
+        for job in result["per_job"]
+    ]
+    print(render_table("job arrivals",
+                       ["job", "workload", "submit (s)", "start (s)",
+                        "latency (ms)"], rows))
+    print(render_table("serving metrics", ["metric", "value"], [
+        ["jobs finished", str(result["jobs_finished"])],
+        ["jobs rejected", str(result["jobs_rejected"])],
+        ["tasks executed", f"{result['tasks_executed']:.0f}"],
+        ["aggregate task throughput (tasks/s)",
+         f"{result['aggregate_task_throughput']:,.0f}"],
+        ["p95 job latency (ms)", f"{result['p95_job_latency'] * 1000:.2f}"],
+        ["mean job latency (ms)",
+         f"{result['mean_job_latency'] * 1000:.2f}"],
+    ]))
+    print(f"virtual time: {result['virtual_seconds']:.4f} s; "
+          f"events: {result['events']:,} "
+          f"({result['events_per_second']:,} events/s)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -498,6 +539,29 @@ def build_parser() -> argparse.ArgumentParser:
     reb.add_argument("--off", action="store_true",
                      help="control run: leave the rebalancer disabled")
     reb.set_defaults(fn=cmd_rebalance)
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant serving: seeded Poisson job arrivals "
+                      "through admission control and fair-share dispatch")
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument("--jobs", type=int, default=6,
+                       help="number of scheduled job arrivals")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--mean-interarrival", type=float, default=0.05,
+                       metavar="S",
+                       help="mean Poisson interarrival gap in virtual "
+                            "seconds (default 0.05)")
+    serve.add_argument("--iterations", type=int, default=6,
+                       help="iterations per job")
+    serve.add_argument("--max-concurrent", type=int, default=3,
+                       help="admission cap: jobs running at once")
+    serve.add_argument("--queue-cap", type=int, default=8,
+                       help="wait-queue length; overflow is rejected")
+    serve.add_argument("--dispatch-cap", type=int, default=4,
+                       metavar="N",
+                       help="controller dispatch cap: concurrent block "
+                            "instances before fair-share queueing kicks in")
+    serve.set_defaults(fn=cmd_serve)
 
     perf = sub.add_parser(
         "perf", help="wall-clock benchmark harness "

@@ -15,6 +15,15 @@ from .data import (
     PartitionPlacement,
 )
 from .driver import Driver, Job
+from .multijob import (
+    OID_STRIDE,
+    FairShareQueue,
+    JobContext,
+    JobManager,
+    JobRecord,
+    JobRejected,
+    merged_registry,
+)
 from .runtime import FunctionRegistry, TaskContext, TaskFunction
 from .worker import DurableStorage, Worker
 
@@ -25,12 +34,18 @@ __all__ = [
     "CostModel",
     "Driver",
     "DurableStorage",
+    "FairShareQueue",
     "FunctionRegistry",
     "Job",
+    "JobContext",
+    "JobManager",
+    "JobRecord",
+    "JobRejected",
     "LogicalObject",
     "NimbusCluster",
     "ObjectDirectory",
     "ObjectStore",
+    "OID_STRIDE",
     "PAPER_COSTS",
     "PartitionPlacement",
     "TaskContext",
@@ -38,4 +53,5 @@ __all__ = [
     "Worker",
     "make_copy_pair",
     "make_task",
+    "merged_registry",
 ]

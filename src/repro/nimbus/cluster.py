@@ -18,17 +18,23 @@ from ..sim.rng import SeedSequence
 from .controller import Controller
 from .costs import CostModel, PAPER_COSTS
 from .driver import Driver, Job
+from .multijob import JobManager, JobRecord
 from .runtime import FunctionRegistry
 from .worker import DurableStorage, Worker
 
 
 class NimbusCluster:
-    """A fully wired simulated Nimbus deployment."""
+    """A fully wired simulated Nimbus deployment.
+
+    ``program=None`` builds the cluster in *serve mode*: no job-0 driver
+    is created and work arrives through :meth:`submit_job` (or the
+    ``JobManager`` at :attr:`jobs` directly) — the multi-tenant path.
+    """
 
     def __init__(
         self,
         num_workers: int,
-        program: Callable[[Job], Iterable],
+        program: Optional[Callable[[Job], Iterable]],
         registry: Optional[FunctionRegistry] = None,
         costs: Optional[CostModel] = None,
         use_templates: bool = True,
@@ -45,6 +51,9 @@ class NimbusCluster:
         trace: Optional[bool] = None,
         rebalance: bool = False,
         rebalance_threshold: float = 1.4,
+        dispatch_inflight_cap: Optional[int] = None,
+        max_concurrent_jobs: int = 4,
+        job_queue_cap: int = 16,
     ):
         self.sim = Simulator()
         self.metrics = Metrics()
@@ -74,6 +83,7 @@ class NimbusCluster:
             checkpoint_every=checkpoint_every,
             heartbeat_timeout=heartbeat_timeout,
             patch_cache_cap=patch_cache_cap,
+            dispatch_inflight_cap=dispatch_inflight_cap,
         )
         self.network.attach(self.controller)
 
@@ -92,16 +102,26 @@ class NimbusCluster:
             worker.peers = self.workers
         self.controller.attach_workers(self.workers)
 
-        self.driver = Driver(
-            self.sim, self.controller, program, self.metrics,
-            use_templates=use_templates,
-        )
-        self.network.attach(self.driver)
-        self.controller.driver = self.driver
+        self.default_use_templates = use_templates
+        if program is not None:
+            self.driver: Optional[Driver] = Driver(
+                self.sim, self.controller, program, self.metrics,
+                use_templates=use_templates,
+            )
+            self.network.attach(self.driver)
+            self.controller.driver = self.driver
+        else:
+            self.driver = None
+
+        #: multi-tenant admission: jobs submitted here run as independent
+        #: namespaces alongside (or instead of) the legacy job-0 driver
+        self.jobs = JobManager(self, max_concurrent=max_concurrent_jobs,
+                               queue_cap=job_queue_cap)
 
         if self.tracer is not None:
             self.controller._trace = self.tracer
-            self.driver._trace = self.tracer
+            if self.driver is not None:
+                self.driver._trace = self.tracer
             for worker in self.workers.values():
                 worker._trace = self.tracer
 
@@ -124,8 +144,26 @@ class NimbusCluster:
             chaos_plan.apply_scripted(self.sim, self.network, self.workers)
 
     @property
-    def job(self) -> Job:
-        return self.driver.job
+    def job(self) -> Optional[Job]:
+        return self.driver.job if self.driver is not None else None
+
+    # ------------------------------------------------------------------
+    # Multi-tenant serving
+    # ------------------------------------------------------------------
+    def submit_job(self, program: Callable[[Job], Iterable],
+                   weight: float = 1.0,
+                   use_templates: Optional[bool] = None,
+                   max_inflight: int = 4) -> JobRecord:
+        """Admit (or queue) a job under its own namespace; see JobManager."""
+        if use_templates is None:
+            use_templates = self.default_use_templates
+        return self.jobs.submit(program, weight=weight,
+                                use_templates=use_templates,
+                                max_inflight=max_inflight)
+
+    def run_until_jobs_finished(self, max_seconds: float = 1e6) -> None:
+        """Run until every submitted (and scheduled) job has finished."""
+        self.jobs.run_until_all_finished(max_seconds=max_seconds)
 
     def start_fault_tolerance(self, heartbeat_interval: float = 0.5,
                               check_interval: float = 1.0) -> None:

@@ -1,6 +1,6 @@
 """The Nimbus controller (§3.2, §4).
 
-The controller receives blocks from the driver, transforms them into an
+The controller receives blocks from drivers, transforms them into an
 execution plan, and dispatches commands to workers. Execution templates
 live here: per basic block the controller moves through four phases,
 matching the installation staircase of Figure 9:
@@ -21,6 +21,19 @@ matching the installation staircase of Figure 9:
 The controller also owns the object directory, the patch cache, edit-based
 migration, eviction/restore of workers (Figure 9), checkpointing, and
 failure recovery (§4.4).
+
+Multi-tenancy: the controller serves N concurrent jobs. Everything the
+template machinery needs per job — the template namespace, the object
+directory and version map, placement, patch cache, driver channel, and
+metrics stream — lives in a :class:`~repro.nimbus.multijob.JobContext`
+keyed by job id. Job 0 is created eagerly with the controller's own
+metrics object and an identity oid namespace, so a single-job cluster
+behaves bit-identically to the pre-multi-tenant system; the legacy flat
+attributes (``controller.templates`` and friends) remain as views onto
+job 0. Blocks dispatch behind an optional concurrency cap
+(``dispatch_inflight_cap``) with weighted fair-share ordering, and the
+shared :class:`~repro.sched.rebalance.LoadTracker` observed from all
+jobs' completions seeds new jobs' placements on the least-loaded worker.
 """
 
 from __future__ import annotations
@@ -33,12 +46,14 @@ from ..core.patching import Patch, PatchCache, build_patch
 from ..core.spec import BlockSpec
 from ..core.validation import ValidationState, full_validate
 from ..core.worker_template import WorkerTemplateSet, generate_worker_templates
+from ..sched.rebalance import LoadTracker
 from ..sim.actor import Actor, Message
 from ..sim.engine import Simulator
 from ..sim.metrics import Metrics
 from .commands import Command, CommandKind, make_copy_pair, make_task
 from .costs import CostModel
 from .data import LogicalObject, ObjectDirectory, PartitionPlacement
+from .multijob import FairShareQueue, JobContext
 from . import protocol as P
 
 
@@ -47,10 +62,11 @@ class _BlockRun:
 
     __slots__ = ("seq", "block_id", "num_tasks", "mode", "outstanding",
                  "expected_workers", "results", "return_cids", "start_time",
-                 "compute_by_worker", "instance_id", "request_id", "open")
+                 "compute_by_worker", "instance_id", "request_id", "open",
+                 "ctx")
 
     def __init__(self, seq, block_id, num_tasks, mode, start_time,
-                 request_id=0):
+                 request_id=0, ctx=None):
         self.seq = seq
         self.block_id = block_id
         self.num_tasks = num_tasks
@@ -66,6 +82,22 @@ class _BlockRun:
         #: True while the scheduler still has commands to dispatch for this
         #: run (staged dispatch must not complete the block at a barrier)
         self.open = False
+        #: owning job context (resolves completions without a job id)
+        self.ctx: Optional[JobContext] = ctx
+
+
+def _job0_view(attr, doc, settable=False):
+    """A legacy flat-attribute view onto the job-0 context."""
+    def fget(self):
+        return getattr(self._job0, attr)
+
+    if not settable:
+        return property(fget, doc=doc)
+
+    def fset(self, value):
+        setattr(self._job0, attr, value)
+
+    return property(fget, fset, doc=doc)
 
 
 class Controller(P.ReliableEndpoint, Actor):
@@ -96,6 +128,7 @@ class Controller(P.ReliableEndpoint, Actor):
         heartbeat_timeout: float = 3.0,
         edit_threshold: float = 0.25,
         patch_cache_cap: int = 256,
+        dispatch_inflight_cap: Optional[int] = None,
     ):
         super().__init__(sim, "controller")
         self.costs = costs
@@ -107,59 +140,53 @@ class Controller(P.ReliableEndpoint, Actor):
         #: migrations touching more than this fraction of a template's tasks
         #: trigger a re-install instead of edits (§2.3)
         self.edit_threshold = edit_threshold
+        self._patch_cache_cap = patch_cache_cap
 
-        self.driver = None  # attached by the cluster
         self.workers: Dict[int, Actor] = {}
         self.live_workers: Set[int] = set()
-        self.directory = ObjectDirectory()
-        self.placement: Optional[PartitionPlacement] = None
 
-        # template state
-        self.templates: Dict[str, ControllerTemplate] = {}
-        self.phase: Dict[str, int] = {}
-        # (block_id, version) -> WorkerTemplateSet
-        self.worker_templates: Dict[Tuple[str, int], WorkerTemplateSet] = {}
-        self.current_version: Dict[str, int] = {}
-        self.assignments: Dict[Tuple[str, int], List[int]] = {}
-        self.validation_state = ValidationState()
-        self.patch_cache = PatchCache(capacity=patch_cache_cap,
-                                      metrics=metrics)
-        self._prev_block_key: Hashable = "job-start"
-        # (block_id, version) -> {worker: [EditOp]} pending application
-        self.pending_edits: Dict[Tuple[str, int], Dict[int, list]] = {}
-        # cached template versions invalidated while they had un-shipped
-        # edits: restore_workers must re-install these, never resurrect
-        self._divergent_wts: Set[Tuple[str, int]] = set()
+        # per-job state: job 0 is the legacy single-driver job, sharing the
+        # controller's metrics object (the bit-identity seam — every
+        # counter lands exactly where the flat controller put it)
+        self._job0 = JobContext(
+            0, metrics=metrics,
+            patch_cache=PatchCache(capacity=patch_cache_cap,
+                                   metrics=metrics))
+        self.jobs: Dict[int, JobContext] = {0: self._job0}
+
         #: optional adaptive rebalancer (sched.Rebalancer), attached by the
         #: cluster when --rebalance is on; None leaves behavior untouched
         self.rebalancer = None
+        #: cross-job load signal: every block completion folds its per-
+        #: worker compute into this EWMA (pure bookkeeping, no RNG/charge);
+        #: new jobs' placements start at the least-loaded worker
+        self.load_tracker = LoadTracker(alpha=0.5)
 
-        # id allocation
+        #: when set, at most this many block runs are in flight at once;
+        #: excess submissions queue in fair-share order. None (default)
+        #: leaves the legacy immediate-dispatch path byte-identical.
+        self.dispatch_inflight_cap = dispatch_inflight_cap
+        self._dispatch_queue = FairShareQueue()
+
+        # id allocation (shared across jobs so worker-side command ids,
+        # instance ids, block seqs, and patch ids never collide)
         self._next_cid = 1
         self._next_instance = 1
         self._next_seq = 1
         self._next_checkpoint = 1
+        self._next_patch_id = 1
 
         # per-block-run state
         self.runs: Dict[int, _BlockRun] = {}
         self._blocks_since_checkpoint = 0
-        self._results_history: List[Tuple[str, Dict[str, Any]]] = []
-
-        # central-path copy tracking: oid -> {worker: providing cid}
-        self._holder_cids: Dict[int, Dict[int, int]] = {}
 
         #: while a central block run is being planned, dispatches coalesce
         #: here (worker -> [(command, report)]) into one batch message per
         #: worker instead of one message per command
         self._dispatch_buffer: Optional[Dict[int, List[Tuple[Command, bool]]]] = None
-        #: memoized object_sizes(); dropped on define/undefine
-        self._object_sizes_cache: Optional[Dict[int, int]] = None
 
-        #: driver request ids already acted on (idempotent receive: a
-        #: redelivered submit/instantiate must not run the block twice)
-        self._seen_requests: Set[int] = set()
-
-        # checkpoint / recovery state
+        # checkpoint / recovery state (job 0: fault tolerance predates
+        # multi-tenant serving and is only driven by the legacy driver)
         self._checkpoint_acks: Set[int] = set()
         self._halt_acks: Set[int] = set()
         self._load_acks: Set[int] = set()
@@ -171,12 +198,94 @@ class Controller(P.ReliableEndpoint, Actor):
         self._failed_workers: Set[int] = set()
 
     # ------------------------------------------------------------------
+    # Legacy flat views (single-job API): all delegate to job 0
+    # ------------------------------------------------------------------
+    driver = _job0_view("driver", "job 0's driver channel", settable=True)
+    directory = _job0_view("directory", "job 0's object directory")
+    placement = _job0_view("placement", "job 0's placement", settable=True)
+    templates = _job0_view("templates", "job 0's controller templates")
+    phase = _job0_view("phase", "job 0's per-block template phase")
+    worker_templates = _job0_view("worker_templates",
+                                  "job 0's worker template sets")
+    current_version = _job0_view("current_version",
+                                 "job 0's current template versions")
+    assignments = _job0_view("assignments", "job 0's assignment snapshots")
+    validation_state = _job0_view("validation_state",
+                                  "job 0's validation automaton")
+    patch_cache = _job0_view("patch_cache", "job 0's patch cache")
+    pending_edits = _job0_view("pending_edits", "job 0's un-shipped edits")
+    _results_history = _job0_view("results_history",
+                                  "job 0's recorded block results")
+
+    # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
     def attach_workers(self, workers: Dict[int, Actor]) -> None:
         self.workers = dict(workers)
         self.live_workers = set(workers)
-        self.placement = PartitionPlacement(sorted(workers))
+        self._job0.placement = PartitionPlacement(sorted(workers))
+
+    def register_job(self, job_id: int, driver, metrics: Metrics,
+                     weight: float = 1.0) -> JobContext:
+        """Create a job's namespace: directory, templates, patch cache.
+
+        Placement reuses the cross-job :class:`LoadTracker`: the job's
+        round-robin starts at the currently least-loaded worker, so
+        concurrent jobs spread instead of piling onto worker 0.
+        """
+        if job_id in self.jobs:
+            raise ValueError(f"job {job_id} is already registered")
+        ctx = JobContext(
+            job_id, driver=driver, metrics=metrics, weight=weight,
+            patch_cache=PatchCache(capacity=self._patch_cache_cap,
+                                   metrics=metrics))
+        order = sorted(self.live_workers)
+        if order:
+            start = min(order, key=lambda w: (
+                self.load_tracker.load.get(w, 0.0), w))
+            i = order.index(start)
+            order = order[i:] + order[:i]
+        ctx.placement = PartitionPlacement(order)
+        self.jobs[job_id] = ctx
+        self.metrics.incr("jobs_registered")
+        return ctx
+
+    def release_job(self, job_id: int) -> None:
+        """Tear down a job's namespace (crash, cancel, or eviction).
+
+        Queued dispatches are dropped, in-flight runs abandoned, and the
+        job's objects destroyed on every worker holding them — so a dead
+        job can never stall or leak into the jobs still being served.
+        """
+        if job_id == 0:
+            raise ValueError("job 0 (the legacy driver) cannot be released")
+        ctx = self.jobs.pop(job_id, None)
+        if ctx is None:
+            return
+        self._dispatch_queue.drop_job(job_id)
+        for seq in [s for s, run in self.runs.items() if run.ctx is ctx]:
+            del self.runs[seq]
+        per_worker: Dict[int, List[int]] = {}
+        for obj in ctx.directory.objects():
+            for worker in ctx.directory._holders.get(obj.oid, {}):
+                per_worker.setdefault(worker, []).append(obj.oid)
+        # every live worker learns of the release, holder or not: any of
+        # them may hold queued commands (or an in-flight write about to
+        # create an object) for the dead job
+        for worker in sorted(self.live_workers):
+            self.send_reliable(self.workers[worker],
+                               P.ReleaseJob(job_id,
+                                            per_worker.get(worker, [])))
+        self.metrics.incr("jobs_released")
+        self._drain_dispatch_queue()
+
+    def _ctx_of(self, msg) -> Optional[JobContext]:
+        """Resolve a driver message's job context; None drops it quietly
+        (in-flight traffic of a job released mid-run)."""
+        ctx = self.jobs.get(msg.job_id)
+        if ctx is None:
+            self.metrics.incr("jobs.orphan_discards")
+        return ctx
 
     def _rel_should_retry(self, dst) -> bool:
         """Stop retransmitting to workers declared failed by recovery.
@@ -207,13 +316,21 @@ class Controller(P.ReliableEndpoint, Actor):
         elif isinstance(msg, P.InstanceComplete):
             self._on_instance_complete(msg)
         elif isinstance(msg, P.SubmitBlock):
-            self._on_submit_block(msg)
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                self._on_submit_block(ctx, msg)
         elif isinstance(msg, P.InstantiateBlock):
-            self._on_instantiate_block(msg)
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                self._on_instantiate_block(ctx, msg)
         elif isinstance(msg, P.DefineObjects):
-            self._on_define_objects(msg)
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                self._on_define_objects(ctx, msg)
         elif isinstance(msg, P.UndefineObjects):
-            self._on_undefine_objects(msg)
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                self._on_undefine_objects(ctx, msg)
         elif isinstance(msg, P.Heartbeat):
             self._last_heartbeat[msg.worker_id] = self.sim.now
         elif isinstance(msg, P.CheckpointAck):
@@ -230,20 +347,23 @@ class Controller(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     # Object definition
     # ------------------------------------------------------------------
-    def _on_define_objects(self, msg: P.DefineObjects) -> None:
-        self._object_sizes_cache = None
+    def _on_define_objects(self, ctx: JobContext,
+                           msg: P.DefineObjects) -> None:
+        ctx.object_sizes_cache = None
         per_worker: Dict[int, List[int]] = {}
         for oid, variable, partition, size, home in msg.objects:
-            obj = LogicalObject(oid, variable, partition, size)
-            worker = self.placement.place(oid, home)
-            self.directory.register(obj, worker)
-            per_worker.setdefault(worker, []).append(oid)
+            goid = ctx.goid(oid)
+            obj = LogicalObject(goid, variable, partition, size)
+            worker = ctx.placement.place(goid, home)
+            ctx.directory.register(obj, worker)
+            per_worker.setdefault(worker, []).append(goid)
         self.charge(self.costs.message_handling * max(1, len(msg.objects) // 64))
         for worker, oids in per_worker.items():
             self.send_reliable(self.workers[worker], P.CreateObjects(oids))
-        self.send_reliable(self.driver, P.ObjectsReady())
+        self.send_reliable(ctx.driver, P.ObjectsReady())
 
-    def _on_undefine_objects(self, msg: P.UndefineObjects) -> None:
+    def _on_undefine_objects(self, ctx: JobContext,
+                             msg: P.UndefineObjects) -> None:
         """Destroy logical objects everywhere (data commands, §3.4).
 
         Installed templates referencing the objects become invalid; the
@@ -252,44 +372,65 @@ class Controller(P.ReliableEndpoint, Actor):
         the data lifecycle).
         """
         self.charge(self.costs.message_handling)
-        self._object_sizes_cache = None
+        ctx.object_sizes_cache = None
         per_worker: Dict[int, List[int]] = {}
         for oid in msg.oids:
-            if oid not in self.directory:
+            goid = ctx.goid(oid)
+            if goid not in ctx.directory:
                 continue
-            for holders in [self.directory._holders.get(oid, {})]:
+            for holders in [ctx.directory._holders.get(goid, {})]:
                 for worker in holders:
-                    per_worker.setdefault(worker, []).append(oid)
-            self.directory.unregister(oid)
-            self._holder_cids.pop(oid, None)
+                    per_worker.setdefault(worker, []).append(goid)
+            ctx.directory.unregister(goid)
+            ctx.holder_cids.pop(goid, None)
         for worker, oids in per_worker.items():
             if worker in self.live_workers:
                 self.send_reliable(self.workers[worker], P.DestroyObjects(oids))
-        self.send_reliable(self.driver, P.ObjectsReady())
+        self.send_reliable(ctx.driver, P.ObjectsReady())
 
-    def object_sizes(self) -> Dict[int, int]:
+    def object_sizes(self, ctx: Optional[JobContext] = None) -> Dict[int, int]:
         # sizes are fixed at definition, so the map only changes when
         # objects are defined or undefined (which drop the cache)
-        if self._object_sizes_cache is None:
-            self._object_sizes_cache = {
-                obj.oid: obj.size_bytes for obj in self.directory.objects()
+        if ctx is None:
+            ctx = self._job0
+        if ctx.object_sizes_cache is None:
+            ctx.object_sizes_cache = {
+                obj.oid: obj.size_bytes for obj in ctx.directory.objects()
             }
-        return self._object_sizes_cache
+        return ctx.object_sizes_cache
 
     # ------------------------------------------------------------------
     # Central scheduling path
     # ------------------------------------------------------------------
-    def _assign_worker(self, read: Tuple[int, ...], write: Tuple[int, ...]) -> int:
+    def _assign_worker(self, ctx: Optional[JobContext] = None,
+                       read: Tuple[int, ...] = (),
+                       write: Tuple[int, ...] = ()) -> int:
         """Anchor a task at the home of its first written (or read) object."""
+        if ctx is None:
+            ctx = self._job0
         anchor = write[0] if write else (read[0] if read else None)
         if anchor is None:
             return min(self.live_workers)
-        return self.placement.home(anchor)
+        try:
+            return ctx.placement.home(anchor)
+        except KeyError:
+            raise KeyError(
+                f"job {ctx.job_id}: cannot place a task touching unknown "
+                f"object id {ctx.local_oid(anchor)} (global id {anchor}); "
+                f"the job never defined it"
+            ) from None
 
     def _alloc_cids(self, n: int) -> int:
         base = self._next_cid
         self._next_cid += n
         return base
+
+    def _alloc_patch_id(self) -> int:
+        """Patch ids are controller-global: a worker's patch cache is keyed
+        by bare patch id, so ids from different jobs must never collide."""
+        pid = self._next_patch_id
+        self._next_patch_id += 1
+        return pid
 
     def _dispatch(self, run: _BlockRun, cmd: Command, report: bool = False) -> None:
         run.outstanding += 1
@@ -339,14 +480,15 @@ class Controller(P.ReliableEndpoint, Actor):
         version is not resident on its worker; the directory and the
         holder-command map are updated as the plan is built.
         """
+        ctx = run.ctx
         sizes = None
-        directory = self.directory
+        directory = ctx.directory
         fresh = directory.is_fresh
         for oid in read:
             if not fresh(oid, worker):
                 src = min(directory.holders_of_latest(oid))
                 if sizes is None:
-                    sizes = self.object_sizes()
+                    sizes = self.object_sizes(ctx)
                 send_cid = self._alloc_cids(1)
                 recv_cid = self._alloc_cids(1)
                 send, recv = make_copy_pair(
@@ -356,16 +498,16 @@ class Controller(P.ReliableEndpoint, Actor):
                 self._dispatch(run, send)
                 self._dispatch(run, recv)
                 directory.record_copy(oid, worker)
-                holders = self._holder_cids.get(oid)
+                holders = ctx.holder_cids.get(oid)
                 if holders is None:
-                    holders = self._holder_cids[oid] = {}
+                    holders = ctx.holder_cids[oid] = {}
                 holders[worker] = recv_cid
         cid = self._alloc_cids(1)
         task = make_task(cid, worker, function, read, write, params=params)
         report = False
         for oid in write:
-            self.directory.record_write(oid, worker)
-            self._holder_cids[oid] = {worker: cid}
+            directory.record_write(oid, worker)
+            ctx.holder_cids[oid] = {worker: cid}
             name = returns_rev.get(oid)
             if name is not None:
                 run.return_cids[cid] = (name, oid)
@@ -374,6 +516,7 @@ class Controller(P.ReliableEndpoint, Actor):
 
     def _run_block_centrally(
         self,
+        ctx: JobContext,
         block: BlockSpec,
         params: Dict[str, Any],
         capture: bool,
@@ -381,15 +524,15 @@ class Controller(P.ReliableEndpoint, Actor):
         seq: Optional[int] = None,
         request_id: int = 0,
     ) -> _BlockRun:
-        run = self._new_run(block.block_id, block.num_tasks, "central", seq,
-                            request_id)
-        if capture and block.block_id in self.templates:
+        run = self._new_run(ctx, block.block_id, block.num_tasks, "central",
+                            seq, request_id)
+        if capture and block.block_id in ctx.templates:
             capture = False  # already installed (e.g. resubmitted after recovery)
         returns_rev = {oid: name for name, oid in block.returns.items()}
         assignment: List[int] = []
         self._begin_dispatch_batch()
         for _stage_name, task in block.all_tasks():
-            worker = self._assign_worker(task.read, task.write)
+            worker = self._assign_worker(ctx, task.read, task.write)
             assignment.append(worker)
             cost = self.costs.central_schedule_per_task
             if receive_cost:
@@ -403,17 +546,17 @@ class Controller(P.ReliableEndpoint, Actor):
                 task_params, returns_rev,
             )
         self._flush_dispatch_batch(run)
-        self.metrics.incr("tasks_scheduled", block.num_tasks)
+        ctx.metrics.incr("tasks_scheduled", block.num_tasks)
         if capture:
             template = ControllerTemplate.from_block(block, assignment)
-            self.templates[block.block_id] = template
-            self.phase[block.block_id] = self.PHASE_CT_READY
-            self.current_version[block.block_id] = 0
-            self.assignments[(block.block_id, 0)] = list(assignment)
-            self.metrics.incr("controller_templates_installed")
+            ctx.templates[block.block_id] = template
+            ctx.phase[block.block_id] = self.PHASE_CT_READY
+            ctx.current_version[block.block_id] = 0
+            ctx.assignments[(block.block_id, 0)] = list(assignment)
+            ctx.metrics.incr("controller_templates_installed")
         # Central execution leaves template validation state unknown.
-        self.validation_state.invalidate()
-        self._prev_block_key = ("central", block.block_id)
+        ctx.validation_state.invalidate()
+        ctx.prev_block_key = ("central", block.block_id)
         if self._trace is not None:
             self._trace_decided(run)
         return run
@@ -421,7 +564,7 @@ class Controller(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     # Driver block submission (central / capture path)
     # ------------------------------------------------------------------
-    def _duplicate_request(self, request_id: int) -> bool:
+    def _duplicate_request(self, ctx: JobContext, request_id: int) -> bool:
         """Idempotent receive: has this driver request already run?
 
         The reliable channel already deduplicates redeliveries; this guard
@@ -432,40 +575,94 @@ class Controller(P.ReliableEndpoint, Actor):
         """
         if not request_id:
             return False
-        if request_id in self._seen_requests:
-            self.metrics.incr("protocol.stale_discards")
+        if request_id in ctx.seen_requests:
+            ctx.metrics.incr("protocol.stale_discards")
             return True
-        self._seen_requests.add(request_id)
+        ctx.seen_requests.add(request_id)
         return False
 
-    def _on_submit_block(self, msg: P.SubmitBlock) -> None:
+    def _on_submit_block(self, ctx: JobContext, msg: P.SubmitBlock) -> None:
         self.charge(self.costs.message_handling)
-        if self._duplicate_request(msg.request_id):
+        if self._duplicate_request(ctx, msg.request_id):
+            return
+        block = ctx.translate_block(msg.block)
+        item = ("submit", block, msg.params, msg.template_start,
+                msg.request_id)
+        if self._gate_dispatch(ctx, item, block.num_tasks):
             return
         self._run_block_centrally(
-            msg.block, msg.params,
+            ctx, block, msg.params,
             capture=msg.template_start,
             receive_cost=True,
             request_id=msg.request_id,
         )
 
     # ------------------------------------------------------------------
+    # Admission gate: fair-share dispatch behind a concurrency cap
+    # ------------------------------------------------------------------
+    def _gate_dispatch(self, ctx: JobContext, item: Tuple,
+                       num_tasks: int) -> bool:
+        """Queue ``item`` when the in-flight cap is reached (or a queue
+        already exists — FIFO within a job is part of the contract).
+        Returns True when the item was deferred. Runs after request
+        deduplication, so a queued block is never enqueued twice."""
+        cap = self.dispatch_inflight_cap
+        if cap is None:
+            return False
+        if len(self.runs) < cap and not self._dispatch_queue:
+            return False
+        self._dispatch_queue.push(ctx.job_id, ctx.weight, item,
+                                  cost=max(1, num_tasks))
+        self.metrics.incr("dispatch.queued")
+        return True
+
+    def _drain_dispatch_queue(self) -> None:
+        cap = self.dispatch_inflight_cap
+        if cap is None:
+            return
+        while self._dispatch_queue and len(self.runs) < cap:
+            job_id, item = self._dispatch_queue.pop()
+            ctx = self.jobs.get(job_id)
+            if ctx is None:
+                continue  # released after queueing
+            if item[0] == "submit":
+                _kind, block, params, template_start, request_id = item
+                self._run_block_centrally(
+                    ctx, block, params, capture=template_start,
+                    receive_cost=True, request_id=request_id)
+            else:
+                self._process_instantiate(ctx, item[1])
+
+    # ------------------------------------------------------------------
     # Template instantiation path
     # ------------------------------------------------------------------
-    def _on_instantiate_block(self, msg: P.InstantiateBlock) -> None:
+    def _on_instantiate_block(self, ctx: JobContext,
+                              msg: P.InstantiateBlock) -> None:
         self.charge(self.costs.message_handling)
-        if self._duplicate_request(msg.request_id):
+        if self._duplicate_request(ctx, msg.request_id):
             return
+        if self._gate_dispatch(ctx, ("instantiate", msg), msg.num_tasks):
+            return
+        self._process_instantiate(ctx, msg)
+
+    def _process_instantiate(self, ctx: JobContext,
+                             msg: P.InstantiateBlock) -> None:
         block_id = msg.block_id
-        template = self.templates[block_id]
-        phase = self.phase[block_id]
+        template = ctx.templates.get(block_id)
+        if template is None:
+            raise KeyError(
+                f"job {ctx.job_id}: no controller template installed for "
+                f"block {block_id!r} (installed blocks: "
+                f"{sorted(ctx.templates)})"
+            )
+        phase = ctx.phase[block_id]
         n = template.num_tasks
         # parameter fill of the controller template (Table 2, row 1).
         # Pooled: the instance is a transient view consumed inside this
         # handler, so one object per template suffices.
         self.charge(self.costs.instantiate_controller_template_per_task * n)
         instance = template.instantiate_pooled(msg.task_id_base, msg.params)
-        self.metrics.incr("template_instantiations")
+        ctx.metrics.incr("template_instantiations")
 
         if phase == self.PHASE_CT_READY:
             # generate the controller half of the worker templates while
@@ -473,36 +670,36 @@ class Controller(P.ReliableEndpoint, Actor):
             c0 = self._charged
             self.charge(
                 self.costs.install_worker_template_controller_per_task * n)
-            version = self.current_version[block_id]
+            version = ctx.current_version[block_id]
             wts = generate_worker_templates(
-                template, self.object_sizes(), version)
+                template, self.object_sizes(ctx), version)
             if self._trace is not None:
                 self._trace.span(
                     self.name, "template", "template.generate",
                     self._handler_start + c0, self._charged - c0,
                     block_id=block_id, **wts.stats())
-            self.worker_templates[wts.key] = wts
-            self.phase[block_id] = self.PHASE_WT_GENERATED
-            self._dispatch_from_template(instance, msg.request_id)
+            ctx.worker_templates[wts.key] = wts
+            ctx.phase[block_id] = self.PHASE_WT_GENERATED
+            self._dispatch_from_template(ctx, instance, msg.request_id)
             return
         if phase == self.PHASE_WT_GENERATED:
             # ship worker halves while dispatching centrally (iteration 12)
-            version = self.current_version[block_id]
-            wts = self.worker_templates[(block_id, version)]
-            self._install_worker_halves(wts)
-            self.phase[block_id] = self.PHASE_WT_INSTALLED
-            self._dispatch_from_template(instance, msg.request_id)
+            version = ctx.current_version[block_id]
+            wts = ctx.worker_templates[(block_id, version)]
+            self._install_worker_halves(ctx, wts)
+            ctx.phase[block_id] = self.PHASE_WT_INSTALLED
+            self._dispatch_from_template(ctx, instance, msg.request_id)
             return
 
         # steady state (iteration 13+): validate, patch, instantiate
-        version = self.current_version[block_id]
-        wts = self.worker_templates[(block_id, version)]
-        self._install_worker_halves(wts)  # no-op for already-installed workers
+        version = ctx.current_version[block_id]
+        wts = ctx.worker_templates[(block_id, version)]
+        self._install_worker_halves(ctx, wts)  # no-op for already-installed workers
         c0 = self._charged
-        if self.validation_state.auto_validates(wts.key):
+        if ctx.validation_state.auto_validates(wts.key):
             self.charge(
                 self.costs.instantiate_worker_template_auto_per_task * n)
-            self.metrics.incr("auto_validations")
+            ctx.metrics.incr("auto_validations")
             if self._trace is not None:
                 self._trace.span(
                     self.name, "template", "validate.auto",
@@ -511,23 +708,24 @@ class Controller(P.ReliableEndpoint, Actor):
         else:
             self.charge(
                 self.costs.instantiate_worker_template_validate_per_task * n)
-            self.metrics.incr("full_validations")
-            violations = full_validate(wts, self.directory)
+            ctx.metrics.incr("full_validations")
+            violations = full_validate(wts, ctx.directory)
             if self._trace is not None:
                 self._trace.span(
                     self.name, "template", "validate.full",
                     self._handler_start + c0, self._charged - c0,
                     block_id=block_id, violations=len(violations))
             if violations:
-                self._apply_patch(wts, violations)
-        self._instantiate_worker_templates(wts, instance, msg.params,
+                self._apply_patch(ctx, wts, violations)
+        self._instantiate_worker_templates(ctx, wts, instance, msg.params,
                                            msg.request_id)
 
-    def _dispatch_from_template(self, instance, request_id: int = 0) -> None:
+    def _dispatch_from_template(self, ctx: JobContext, instance,
+                                request_id: int = 0) -> None:
         """Centrally dispatch a controller-template instance (phases 1–2)."""
         template = instance.template
-        run = self._new_run(template.block_id, template.num_tasks, "central",
-                            request_id=request_id)
+        run = self._new_run(ctx, template.block_id, template.num_tasks,
+                            "central", request_id=request_id)
         returns_rev = {oid: name for name, oid in template.returns.items()}
         self._begin_dispatch_batch()
         for entry in template.entries:
@@ -537,13 +735,14 @@ class Controller(P.ReliableEndpoint, Actor):
                 instance.param_of(entry), returns_rev,
             )
         self._flush_dispatch_batch(run)
-        self.metrics.incr("tasks_scheduled", template.num_tasks)
-        self.validation_state.invalidate()
-        self._prev_block_key = ("central", template.block_id)
+        ctx.metrics.incr("tasks_scheduled", template.num_tasks)
+        ctx.validation_state.invalidate()
+        ctx.prev_block_key = ("central", template.block_id)
         if self._trace is not None:
             self._trace_decided(run)
 
-    def _install_worker_halves(self, wts: WorkerTemplateSet) -> None:
+    def _install_worker_halves(self, ctx: JobContext,
+                               wts: WorkerTemplateSet) -> None:
         for worker in wts.workers():
             if worker in wts.installed_on or worker not in self.live_workers:
                 continue
@@ -553,6 +752,7 @@ class Controller(P.ReliableEndpoint, Actor):
             ]
             self.send_reliable(self.workers[worker], P.InstallWorkerTemplate(
                 wts.block_id, wts.version, entries, reports,
+                job_id=ctx.job_id,
             ))
             wts.installed_on.add(worker)
             if self._trace is not None:
@@ -563,12 +763,13 @@ class Controller(P.ReliableEndpoint, Actor):
             # a fresh install ships the controller half verbatim, which
             # already contains any planned edits — drop them so they are
             # not applied a second time at instantiation
-            pending = self.pending_edits.get(wts.key)
+            pending = ctx.pending_edits.get(wts.key)
             if pending:
                 pending.pop(worker, None)
 
     def _instantiate_worker_templates(
         self,
+        ctx: JobContext,
         wts: WorkerTemplateSet,
         instance,
         params: Dict[str, Any],
@@ -576,17 +777,18 @@ class Controller(P.ReliableEndpoint, Actor):
     ) -> None:
         """The fast path: one message per worker (§2.2: n+1 total)."""
         template = instance.template
-        run = self._new_run(template.block_id, template.num_tasks, "template",
-                            request_id=request_id)
+        run = self._new_run(ctx, template.block_id, template.num_tasks,
+                            "template", request_id=request_id)
         run.instance_id = self._next_instance
         self._next_instance += 1
-        edits_by_worker = self.pending_edits.pop(wts.key, {})
+        edits_by_worker = ctx.pending_edits.pop(wts.key, {})
         for worker in wts.workers():
             entries = wts.entries[worker]
             cid_base = self._alloc_cids(len(entries))
             msg = P.InstantiateWorkerTemplate(
                 wts.block_id, wts.version, run.instance_id, cid_base,
                 params, run.seq, edits=edits_by_worker.get(worker),
+                job_id=ctx.job_id,
             )
             msg.size_bytes = (P.TASK_ID_BYTES * len(entries)
                               + P.PARAM_BLOCK_BYTES)
@@ -596,23 +798,23 @@ class Controller(P.ReliableEndpoint, Actor):
         for name, oid in wts.returns.items():
             # values arrive inside InstanceComplete messages keyed by oid
             run.return_cids[oid] = (name, oid)
-        wts.delta.apply(self.directory)
-        self.validation_state.note_instantiation(wts.key)
-        self._prev_block_key = wts.key
-        self.metrics.incr("tasks_scheduled", template.num_tasks)
+        wts.delta.apply(ctx.directory)
+        ctx.validation_state.note_instantiation(wts.key)
+        ctx.prev_block_key = wts.key
+        ctx.metrics.incr("tasks_scheduled", template.num_tasks)
         if self._trace is not None:
             self._trace_decided(run)
 
     # ------------------------------------------------------------------
     # Patching (§4.2)
     # ------------------------------------------------------------------
-    def _apply_patch(self, wts: WorkerTemplateSet,
+    def _apply_patch(self, ctx: JobContext, wts: WorkerTemplateSet,
                      violations: List[Tuple[int, int]]) -> None:
         instance_id = self._next_instance
         self._next_instance += 1
         c0 = self._charged
-        cached = self.patch_cache.lookup(
-            self._prev_block_key, wts.key, violations, self.directory)
+        cached = ctx.patch_cache.lookup(
+            ctx.prev_block_key, wts.key, violations, ctx.directory)
         if cached is not None:
             self.charge(self.costs.patch_cache_invoke)
             patch = cached
@@ -620,35 +822,37 @@ class Controller(P.ReliableEndpoint, Actor):
                 cid_base = self._alloc_cids(patch.entry_count(worker))
                 self.send_reliable(self.workers[worker], P.InstantiatePatch(
                     patch.patch_id, cid_base, instance_id))
-            self.metrics.incr("patch_cache_hits")
+            ctx.metrics.incr("patch_cache_hits")
             if self._trace is not None:
                 self._trace.span(
                     self.name, "template", "patch.cache_hit",
                     self._handler_start + c0, self._charged - c0,
                     patch_id=patch.patch_id, num_copies=patch.num_copies())
         else:
-            patch = build_patch(violations, self.directory, self.object_sizes(),
-                                patch_id=self.patch_cache.allocate_id())
+            patch = build_patch(violations, ctx.directory,
+                                self.object_sizes(ctx),
+                                patch_id=self._alloc_patch_id())
             self.charge(self.costs.patch_compute_per_copy * patch.num_copies())
             for worker in patch.workers():
                 cid_base = self._alloc_cids(patch.entry_count(worker))
                 self.send_reliable(self.workers[worker], P.InstallPatch(
                     patch.patch_id, patch.entries[worker], cid_base,
                     instance_id))
-            self.patch_cache.store(self._prev_block_key, wts.key, patch)
-            self.metrics.incr("patches_computed")
+            ctx.patch_cache.store(ctx.prev_block_key, wts.key, patch)
+            ctx.metrics.incr("patches_computed")
             if self._trace is not None:
                 self._trace.span(
                     self.name, "template", "patch.compute",
                     self._handler_start + c0, self._charged - c0,
                     patch_id=patch.patch_id, num_copies=patch.num_copies())
-        patch.apply_to_directory(self.directory)
-        self.metrics.incr("patch_copies", patch.num_copies())
+        patch.apply_to_directory(ctx.directory)
+        ctx.metrics.incr("patch_copies", patch.num_copies())
 
     # ------------------------------------------------------------------
     # Dynamic scheduling: edits, eviction, restore (§2.3, Fig. 9/10)
     # ------------------------------------------------------------------
-    def migrate_tasks(self, block_id: str, moves: List[Tuple[int, int]]) -> str:
+    def migrate_tasks(self, block_id: str, moves: List[Tuple[int, int]],
+                      job_id: int = 0) -> str:
         """Move tasks (by controller-template entry index) to new workers.
 
         Small changes become template edits; large ones re-install. Before
@@ -657,29 +861,35 @@ class Controller(P.ReliableEndpoint, Actor):
         migration ("reassign"). Returns which mechanism was used
         ("edits", "reinstall", or "reassign").
         """
-        template = self.templates.get(block_id)
+        ctx = self.jobs.get(job_id)
+        if ctx is None:
+            raise KeyError(
+                f"cannot migrate tasks of block {block_id!r}: job {job_id} "
+                f"is not registered (live jobs: {sorted(self.jobs)})"
+            )
+        template = ctx.templates.get(block_id)
         if template is None:
             raise KeyError(
-                f"cannot migrate tasks of block {block_id!r}: no controller "
-                f"template captured yet (captured blocks: "
-                f"{sorted(self.templates)})"
+                f"job {job_id}: cannot migrate tasks of block {block_id!r}: "
+                f"no controller template captured yet (captured blocks: "
+                f"{sorted(ctx.templates)})"
             )
-        version = self.current_version.get(block_id, 0)
-        wts = self.worker_templates.get((block_id, version))
-        if wts is None or self.phase.get(block_id, 0) < self.PHASE_WT_GENERATED:
+        version = ctx.current_version.get(block_id, 0)
+        wts = ctx.worker_templates.get((block_id, version))
+        if wts is None or ctx.phase.get(block_id, 0) < self.PHASE_WT_GENERATED:
             for ct_index, dst in moves:
                 template.reassign(ct_index, dst)
-            if (block_id, version) in self.assignments:
-                self.assignments[(block_id, version)] = [
+            if (block_id, version) in ctx.assignments:
+                ctx.assignments[(block_id, version)] = [
                     e.worker for e in template.entries
                 ]
-            self.metrics.incr("migrations_reassigned")
+            ctx.metrics.incr("migrations_reassigned")
             return "reassign"
         if len(moves) <= self.edit_threshold * template.num_tasks:
             edits, total_ops, relocations = plan_migrations(
-                wts, moves, self.object_sizes())
+                wts, moves, self.object_sizes(ctx))
             self.charge(self.costs.edit_per_task * total_ops)
-            pending = self.pending_edits.setdefault(wts.key, {})
+            pending = ctx.pending_edits.setdefault(wts.key, {})
             for worker, ops in edits.items():
                 pending.setdefault(worker, []).extend(ops)
             for ct_index, dst in moves:
@@ -687,11 +897,11 @@ class Controller(P.ReliableEndpoint, Actor):
             # one-time data moves for relocated sole-reader inputs: the
             # objects' homes follow the tasks; stale replicas remain behind
             stale = [(dst, oid) for oid, dst in relocations
-                     if not self.directory.is_fresh(oid, dst)]
+                     if not ctx.directory.is_fresh(oid, dst)]
             if stale:
-                patch = build_patch(stale, self.directory,
-                                    self.object_sizes(),
-                                    patch_id=self.patch_cache.allocate_id())
+                patch = build_patch(stale, ctx.directory,
+                                    self.object_sizes(ctx),
+                                    patch_id=self._alloc_patch_id())
                 instance_id = self._next_instance
                 self._next_instance += 1
                 for worker in patch.workers():
@@ -699,18 +909,18 @@ class Controller(P.ReliableEndpoint, Actor):
                     self.send_reliable(self.workers[worker], P.InstallPatch(
                         patch.patch_id, patch.entries[worker], cid_base,
                         instance_id))
-                patch.apply_to_directory(self.directory)
-                self.metrics.incr("relocation_copies", len(stale))
+                patch.apply_to_directory(ctx.directory)
+                ctx.metrics.incr("relocation_copies", len(stale))
             for oid, dst in relocations:
-                self.placement.migrate(oid, dst)
-            self.metrics.incr("edits_applied", total_ops)
+                ctx.placement.migrate(oid, dst)
+            ctx.metrics.incr("edits_applied", total_ops)
             return "edits"
         for ct_index, dst in moves:
             template.reassign(ct_index, dst)
-        self._regenerate_worker_templates(block_id)
+        self._regenerate_worker_templates(ctx, block_id)
         return "reinstall"
 
-    def _drop_pending_edits(self, block_id: str) -> None:
+    def _drop_pending_edits(self, ctx: JobContext, block_id: str) -> None:
         """Forget queued-but-unshipped worker-half edits for ``block_id``.
 
         Called whenever a regeneration, eviction, or restore supersedes the
@@ -721,36 +931,37 @@ class Controller(P.ReliableEndpoint, Actor):
         — drop that cached version too, and let :meth:`restore_workers`
         fall back to a regeneration if a snapshot still points at it.
         """
-        for key in [k for k in self.pending_edits if k[0] == block_id]:
-            del self.pending_edits[key]
-            wts = self.worker_templates.get(key)
+        for key in [k for k in ctx.pending_edits if k[0] == block_id]:
+            del ctx.pending_edits[key]
+            wts = ctx.worker_templates.get(key)
             if wts is not None and wts.installed_on:
-                del self.worker_templates[key]
-                self._divergent_wts.add(key)
+                del ctx.worker_templates[key]
+                ctx.divergent_wts.add(key)
 
-    def _regenerate_worker_templates(self, block_id: str) -> None:
-        self._drop_pending_edits(block_id)
-        template = self.templates[block_id]
+    def _regenerate_worker_templates(self, ctx: JobContext,
+                                     block_id: str) -> None:
+        self._drop_pending_edits(ctx, block_id)
+        template = ctx.templates[block_id]
         template.assignment_version += 1
         version = template.assignment_version
-        self.current_version[block_id] = version
+        ctx.current_version[block_id] = version
         c0 = self._charged
         self.charge(self.costs.install_worker_template_controller_per_task
                     * template.num_tasks)
         wts = generate_worker_templates(
-            template, self.object_sizes(), version)
+            template, self.object_sizes(ctx), version)
         if self._trace is not None:
             self._trace.span(
                 self.name, "template", "template.generate",
                 self._handler_start + c0, self._charged - c0,
                 block_id=block_id, version=version, **wts.stats())
-        self.worker_templates[wts.key] = wts
-        self.assignments[(block_id, version)] = [
+        ctx.worker_templates[wts.key] = wts
+        ctx.assignments[(block_id, version)] = [
             e.worker for e in template.entries
         ]
-        self.phase[block_id] = self.PHASE_WT_GENERATED
-        self.validation_state.invalidate()
-        self.metrics.incr("worker_template_regenerations")
+        ctx.phase[block_id] = self.PHASE_WT_GENERATED
+        ctx.validation_state.invalidate()
+        ctx.metrics.incr("worker_template_regenerations")
 
     def evict_workers(self, evicted: List[int]) -> None:
         """A cluster manager revoked workers: migrate their objects and
@@ -763,105 +974,121 @@ class Controller(P.ReliableEndpoint, Actor):
         returns. The drain itself may copy *from* an evicted worker (it is
         still reachable while the directive runs); afterwards no control
         message targets an evicted worker until :meth:`restore_workers`.
+        Every registered job is drained — eviction is a cluster event, not
+        a job event.
         """
         evicted_set = set(evicted)
         survivors = sorted(self.live_workers - evicted_set)
         if not survivors:
             raise RuntimeError("cannot evict every worker")
         self.live_workers -= evicted_set
-        rr = 0
-        stale: List[Tuple[int, int]] = []
-        for oid in list(self._all_placed_objects()):
-            if self.placement.home(oid) in evicted_set:
-                dst = survivors[rr % len(survivors)]
-                rr += 1
-                self.placement.migrate(oid, dst)
-                if not self.directory.is_fresh(oid, dst):
-                    stale.append((dst, oid))
-        if stale:
-            patch = build_patch(stale, self.directory, self.object_sizes(),
-                                patch_id=self.patch_cache.allocate_id())
-            instance_id = self._next_instance
-            self._next_instance += 1
-            for worker in patch.workers():
-                cid_base = self._alloc_cids(patch.entry_count(worker))
-                self.send_reliable(self.workers[worker], P.InstallPatch(
-                    patch.patch_id, patch.entries[worker], cid_base,
-                    instance_id))
-            patch.apply_to_directory(self.directory)
-            self.metrics.incr("relocation_copies", len(stale))
-        for block_id, template in self.templates.items():
-            # a block with queued edits must regenerate even if none of its
-            # template entries sit on an evicted worker: the queued ops (or
-            # the edited halves they target) may address evicted peers, and
-            # regeneration is what retires them (_drop_pending_edits)
-            changed = any(key[0] == block_id for key in self.pending_edits)
-            for entry in template.entries:
-                if entry.worker in evicted_set:
-                    entry.worker = self._assign_worker(entry.read, entry.write)
-                    changed = True
-            if changed and self.phase.get(block_id, 0) >= self.PHASE_CT_READY:
-                self._regenerate_worker_templates(block_id)
-        self.validation_state.invalidate()
+        for job_id in sorted(self.jobs):
+            ctx = self.jobs[job_id]
+            rr = 0
+            stale: List[Tuple[int, int]] = []
+            for oid in self._placed_objects(ctx):
+                if ctx.placement.home(oid) in evicted_set:
+                    dst = survivors[rr % len(survivors)]
+                    rr += 1
+                    ctx.placement.migrate(oid, dst)
+                    if not ctx.directory.is_fresh(oid, dst):
+                        stale.append((dst, oid))
+            if stale:
+                patch = build_patch(stale, ctx.directory,
+                                    self.object_sizes(ctx),
+                                    patch_id=self._alloc_patch_id())
+                instance_id = self._next_instance
+                self._next_instance += 1
+                for worker in patch.workers():
+                    cid_base = self._alloc_cids(patch.entry_count(worker))
+                    self.send_reliable(self.workers[worker], P.InstallPatch(
+                        patch.patch_id, patch.entries[worker], cid_base,
+                        instance_id))
+                patch.apply_to_directory(ctx.directory)
+                ctx.metrics.incr("relocation_copies", len(stale))
+            for block_id, template in ctx.templates.items():
+                # a block with queued edits must regenerate even if none of
+                # its template entries sit on an evicted worker: the queued
+                # ops (or the edited halves they target) may address evicted
+                # peers, and regeneration retires them (_drop_pending_edits)
+                changed = any(key[0] == block_id
+                              for key in ctx.pending_edits)
+                for entry in template.entries:
+                    if entry.worker in evicted_set:
+                        entry.worker = self._assign_worker(
+                            ctx, entry.read, entry.write)
+                        changed = True
+                if changed and ctx.phase.get(block_id, 0) >= self.PHASE_CT_READY:
+                    self._regenerate_worker_templates(ctx, block_id)
+            ctx.validation_state.invalidate()
 
     def restore_workers(self, restored: List[int],
                         placement_snapshot: Dict[int, int],
                         version_snapshot: Dict[str, int]) -> None:
         """Workers returned: revert to the cached templates for the old
-        assignment; the next instantiation validates them (Fig. 9)."""
+        assignment; the next instantiation validates them (Fig. 9).
+
+        Snapshots are per-namespace: this restores job 0 (the legacy
+        dynamic-scheduling experiments drive a single job). The restored
+        workers rejoin the shared live set for every job.
+        """
+        ctx = self._job0
         self.live_workers |= set(restored)
         for oid, home in placement_snapshot.items():
-            self.placement.migrate(oid, home)
+            ctx.placement.migrate(oid, home)
         for block_id, version in version_snapshot.items():
             # queued edits were planned against assignments this restore is
             # undoing — shipping them later would corrupt installed halves
-            self._drop_pending_edits(block_id)
-            template = self.templates[block_id]
-            assignment = self.assignments[(block_id, version)]
+            self._drop_pending_edits(ctx, block_id)
+            template = ctx.templates[block_id]
+            assignment = ctx.assignments[(block_id, version)]
             for entry, worker in zip(template.entries, assignment):
                 entry.worker = worker
-            self.current_version[block_id] = version
-            if (block_id, version) in self.worker_templates:
-                self.phase[block_id] = self.PHASE_WT_INSTALLED
-            elif (block_id, version) in self._divergent_wts:
+            ctx.current_version[block_id] = version
+            if (block_id, version) in ctx.worker_templates:
+                ctx.phase[block_id] = self.PHASE_WT_INSTALLED
+            elif (block_id, version) in ctx.divergent_wts:
                 # the cached set for this version was invalidated while it
                 # had un-shipped edits; re-install instead of resurrecting
                 # worker halves that no longer match the controller half
-                self._regenerate_worker_templates(block_id)
+                self._regenerate_worker_templates(ctx, block_id)
             else:
                 # worker templates were never generated for this version
                 # (the block was still pre-WT at snapshot time); rejoin the
                 # staircase so the next instantiation generates them fresh
-                self.phase[block_id] = self.PHASE_CT_READY
-        self.validation_state.invalidate()
+                ctx.phase[block_id] = self.PHASE_CT_READY
+        ctx.validation_state.invalidate()
 
     def snapshot_placement(self) -> Dict[int, int]:
-        return {oid: self.placement.home(oid)
-                for oid in self._all_placed_objects()}
+        ctx = self._job0
+        return {oid: ctx.placement.home(oid)
+                for oid in self._placed_objects(ctx)}
 
     def snapshot_versions(self) -> Dict[str, int]:
-        return dict(self.current_version)
+        return dict(self._job0.current_version)
 
-    def _all_placed_objects(self):
-        return [obj.oid for obj in self.directory.objects()]
+    def _placed_objects(self, ctx: JobContext):
+        return [obj.oid for obj in ctx.directory.objects()]
 
     # ------------------------------------------------------------------
     # Completions
     # ------------------------------------------------------------------
-    def _new_run(self, block_id: str, num_tasks: int, mode: str,
-                 seq: Optional[int] = None, request_id: int = 0) -> _BlockRun:
+    def _new_run(self, ctx: JobContext, block_id: str, num_tasks: int,
+                 mode: str, seq: Optional[int] = None,
+                 request_id: int = 0) -> _BlockRun:
         if seq is None:
             seq = self._next_seq
             self._next_seq += 1
         run = _BlockRun(seq, block_id, num_tasks, mode, self.sim.now,
-                        request_id)
+                        request_id, ctx=ctx)
         self.runs[seq] = run
-        self.metrics.begin("block", self.sim.now, key=seq,
-                           block_id=block_id, seq=seq, mode=mode,
-                           num_tasks=num_tasks, request_id=request_id)
+        ctx.metrics.begin("block", self.sim.now, key=seq,
+                          block_id=block_id, seq=seq, mode=mode,
+                          num_tasks=num_tasks, request_id=request_id)
         if self._trace is not None:
             self._trace.run_begin(run.seq, block_id, mode, request_id,
-                                  num_tasks, self._handler_start)
+                                  num_tasks, self._handler_start,
+                                  job_id=ctx.job_id)
         return run
 
     def _trace_decided(self, run: _BlockRun) -> None:
@@ -890,7 +1117,7 @@ class Controller(P.ReliableEndpoint, Actor):
                           duration: float, value: Any) -> None:
         run = self.runs.get(block_seq)
         if run is None:
-            return  # dropped by recovery
+            return  # dropped by recovery (or a released job)
         run.outstanding -= 1
         run.compute_by_worker[worker_id] = (
             run.compute_by_worker.get(worker_id, 0.0) + duration)
@@ -912,7 +1139,7 @@ class Controller(P.ReliableEndpoint, Actor):
             # pure observation: no charge, no metrics, no RNG — a run with
             # the rebalancer enabled but no skew stays bit-identical
             self.rebalancer.observe_instance(
-                msg.block_id, msg.version, msg.worker_id,
+                run.ctx, msg.block_id, msg.version, msg.worker_id,
                 msg.compute_time, msg.task_times)
         for oid, value in msg.values.items():
             if oid in run.return_cids:
@@ -922,29 +1149,37 @@ class Controller(P.ReliableEndpoint, Actor):
             self._finish_block(run)
 
     def _finish_block(self, run: _BlockRun) -> None:
+        ctx = run.ctx
         del self.runs[run.seq]
         if self._trace is not None:
             self._trace.run_finish(run.seq)
         compute = 0.0
         if run.compute_by_worker:
             compute = max(run.compute_by_worker.values()) / self.slots_per_worker
-        self.metrics.end("block", self.sim.now, key=run.seq,
-                         compute=compute, results=dict(run.results))
-        self._results_history.append((run.block_id, dict(run.results)))
-        self.send_reliable(self.driver, P.BlockComplete(
+        ctx.metrics.end("block", self.sim.now, key=run.seq,
+                        compute=compute, results=dict(run.results))
+        ctx.results_history.append((run.block_id, dict(run.results)))
+        # pure bookkeeping for cross-job placement: dict folds only, no
+        # charge, no RNG — the virtual timeline is untouched
+        for worker, compute_time in run.compute_by_worker.items():
+            self.load_tracker.observe(worker, compute_time, {})
+        self.send_reliable(ctx.driver, P.BlockComplete(
             run.block_id, run.seq, dict(run.results), run.request_id))
         if (self.rebalancer is not None and run.mode == "template"
                 and not self._recovering and not self._checkpointing):
-            self.rebalancer.maybe_rebalance(run.block_id)
-        self._blocks_since_checkpoint += 1
-        if (self.checkpoint_every is not None
-                and self._blocks_since_checkpoint >= self.checkpoint_every
-                and not self.runs and not self._checkpointing
-                and not self._recovering):
-            self._start_checkpoint()
+            self.rebalancer.maybe_rebalance(ctx, run.block_id)
+        if ctx is self._job0:
+            self._blocks_since_checkpoint += 1
+            if (self.checkpoint_every is not None
+                    and self._blocks_since_checkpoint >= self.checkpoint_every
+                    and not self.runs and not self._checkpointing
+                    and not self._recovering):
+                self._start_checkpoint()
+        self._drain_dispatch_queue()
 
     # ------------------------------------------------------------------
-    # Checkpointing (§4.4)
+    # Checkpointing (§4.4) — job 0 (fault tolerance is driven by the
+    # legacy single driver; serve mode does not enable it)
     # ------------------------------------------------------------------
     def _start_checkpoint(self) -> None:
         self._checkpointing = True
@@ -953,9 +1188,9 @@ class Controller(P.ReliableEndpoint, Actor):
         self._next_checkpoint += 1
         self._checkpoint_acks = set()
         self._checkpoint_snapshots[checkpoint_id] = (
-            self.directory.snapshot(),
+            self._job0.directory.snapshot(),
             self.snapshot_placement(),
-            list(self._results_history),
+            list(self._job0.results_history),
         )
         for worker in self.live_workers:
             self.send_reliable(self.workers[worker], P.SaveCheckpoint(checkpoint_id))
@@ -992,7 +1227,10 @@ class Controller(P.ReliableEndpoint, Actor):
         self._recovering = True
         self._failed_workers |= set(dead)
         self.live_workers -= set(dead)
-        self.runs.clear()  # in-flight blocks are abandoned and replayed
+        # in-flight blocks are abandoned and replayed. The halt wipes every
+        # job's worker-side queues, so all runs are dropped (recovery is a
+        # cluster-wide stop-the-world; serve mode does not enable it)
+        self.runs.clear()
         self._halt_acks = set()
         for worker in self.live_workers:
             self.send_reliable(self.workers[worker], P.Halt())
@@ -1006,10 +1244,11 @@ class Controller(P.ReliableEndpoint, Actor):
             self._restore_from_checkpoint()
 
     def _restore_from_checkpoint(self) -> None:
+        ctx = self._job0
         checkpoint_id = self._last_committed_checkpoint
         dir_snap, placement_snap, history = (
             self._checkpoint_snapshots[checkpoint_id])
-        self.directory.restore(dir_snap)
+        ctx.directory.restore(dir_snap)
         survivors = sorted(self.live_workers)
         rr = 0
         per_worker_loads: Dict[int, List[int]] = {}
@@ -1017,25 +1256,26 @@ class Controller(P.ReliableEndpoint, Actor):
             if home not in self.live_workers:
                 home = survivors[rr % len(survivors)]
                 rr += 1
-            self.placement.migrate(oid, home)
+            ctx.placement.migrate(oid, home)
             per_worker_loads.setdefault(home, []).append(oid)
         for worker in self._failed_workers:
-            self.directory.evict_worker(worker)
+            ctx.directory.evict_worker(worker)
         # every object is reloaded at its (possibly new) home at the
         # checkpointed version; the directory reflects exactly that
         for worker, oids in per_worker_loads.items():
             for oid in oids:
-                self.directory.apply_block_delta(oid, 0, [worker])
+                ctx.directory.apply_block_delta(oid, 0, [worker])
         # all cached schedules referenced the dead workers: rebuild
-        for block_id, template in self.templates.items():
+        for block_id, template in ctx.templates.items():
             for entry in template.entries:
                 if entry.worker not in self.live_workers:
-                    entry.worker = self._assign_worker(entry.read, entry.write)
-            if self.phase.get(block_id, 0) >= self.PHASE_CT_READY:
-                self._regenerate_worker_templates(block_id)
-        self.patch_cache.invalidate_all()
-        self.validation_state.invalidate()
-        self._results_history = list(history)
+                    entry.worker = self._assign_worker(
+                        ctx, entry.read, entry.write)
+            if ctx.phase.get(block_id, 0) >= self.PHASE_CT_READY:
+                self._regenerate_worker_templates(ctx, block_id)
+        ctx.patch_cache.invalidate_all()
+        ctx.validation_state.invalidate()
+        ctx.results_history = list(history)
         self._load_acks = set()
         for worker, oids in per_worker_loads.items():
             self.send_reliable(self.workers[worker],
@@ -1052,8 +1292,9 @@ class Controller(P.ReliableEndpoint, Actor):
             self._finish_recovery()
 
     def _finish_recovery(self) -> None:
+        ctx = self._job0
         self._recovering = False
-        self._holder_cids.clear()
-        self.send_reliable(self.driver, P.JobRestored(
-            len(self._results_history) + 1, list(self._results_history)))
+        ctx.holder_cids.clear()
+        self.send_reliable(ctx.driver, P.JobRestored(
+            len(ctx.results_history) + 1, list(ctx.results_history)))
         self.metrics.incr("recoveries_completed")

@@ -109,13 +109,22 @@ class Driver(P.ReliableEndpoint, Actor):
         metrics: Metrics,
         use_templates: bool = True,
         max_inflight: int = 4,
+        name: str = "driver",
+        job_id: int = 0,
     ):
-        super().__init__(sim, "driver")
+        super().__init__(sim, name)
         self._init_reliable(metrics)
         self.controller = controller
         self.program = program
         self.metrics = metrics
         self.use_templates = use_templates
+        #: controller-side namespace this driver submits into. Reliable
+        #: channels are keyed by actor name, so concurrent drivers must
+        #: also carry unique names (the JobManager uses "driver-<id>").
+        self.job_id = job_id
+        #: callback invoked (with this driver) when the program finishes;
+        #: the JobManager uses it to admit queued jobs
+        self.on_finish: Optional[Callable[["Driver"], None]] = None
         #: submission backpressure: at most this many blocks in flight.
         #: Enough to pipeline control plane against computation, without
         #: flooding a saturated controller's inbox arbitrarily deep.
@@ -176,6 +185,8 @@ class Driver(P.ReliableEndpoint, Actor):
                 self.job.finish_time = self.sim.now
                 if self._trace is not None:
                     self._trace.driver_finish()
+                if self.on_finish is not None:
+                    self.on_finish(self)
                 if self.halt_on_finish:
                     self.sim.halt()
                 return
@@ -184,13 +195,15 @@ class Driver(P.ReliableEndpoint, Actor):
             if kind == "define":
                 if self._replaying:
                     continue  # objects already exist after recovery
-                self.send_reliable(self.controller, P.DefineObjects(directive[1]))
+                self.send_reliable(self.controller, P.DefineObjects(
+                    directive[1], job_id=self.job_id))
                 self._wait = ("define",)
                 return
             if kind == "undefine":
                 if self._replaying:
                     continue
-                self.send_reliable(self.controller, P.UndefineObjects(directive[1]))
+                self.send_reliable(self.controller, P.UndefineObjects(
+                    directive[1], job_id=self.job_id))
                 self._wait = ("define",)  # same ack message
                 return
             if kind == "run":
@@ -255,13 +268,15 @@ class Driver(P.ReliableEndpoint, Actor):
             base = self._next_task_id
             self._next_task_id += block.num_tasks
             self.send_reliable(self.controller, P.InstantiateBlock(
-                block.block_id, block.num_tasks, base, params, request_id))
+                block.block_id, block.num_tasks, base, params, request_id,
+                job_id=self.job_id))
         else:
             template_start = self.use_templates
             if template_start:
                 self._installed.add(block.block_id)
             self.send_reliable(self.controller, P.SubmitBlock(
-                block, params, template_start, request_id))
+                block, params, template_start, request_id,
+                job_id=self.job_id))
 
     # ------------------------------------------------------------------
     # Completions

@@ -33,9 +33,11 @@ PARAM_BLOCK_BYTES = 64  # typical parameter blob
 class DefineObjects(Message):
     """Declare logical objects (partitions) and optional placement hints."""
 
-    def __init__(self, objects: List[Tuple[int, str, int, int, Optional[int]]]):
+    def __init__(self, objects: List[Tuple[int, str, int, int, Optional[int]]],
+                 job_id: int = 0):
         # entries: (oid, variable, partition, size_bytes, home_worker or None)
         self.objects = objects
+        self.job_id = job_id
         self.size_bytes = 64 * len(objects)
 
 
@@ -47,11 +49,12 @@ class SubmitBlock(Message):
     """
 
     def __init__(self, block, params: Dict[str, Any], template_start: bool = False,
-                 request_id: int = 0):
+                 request_id: int = 0, job_id: int = 0):
         self.block = block  # BlockSpec
         self.params = params
         self.template_start = template_start
         self.request_id = request_id
+        self.job_id = job_id
         self.size_bytes = TASK_DESC_BYTES * block.num_tasks + PARAM_BLOCK_BYTES
 
 
@@ -63,12 +66,13 @@ class InstantiateBlock(Message):
     """
 
     def __init__(self, block_id: str, num_tasks: int, task_id_base: int,
-                 params: Dict[str, Any], request_id: int = 0):
+                 params: Dict[str, Any], request_id: int = 0, job_id: int = 0):
         self.block_id = block_id
         self.num_tasks = num_tasks
         self.task_id_base = task_id_base
         self.params = params
         self.request_id = request_id
+        self.job_id = job_id
         self.size_bytes = TASK_ID_BYTES * num_tasks + PARAM_BLOCK_BYTES
 
 
@@ -122,11 +126,27 @@ class DestroyObjects(Message):
         self.size_bytes = 16 * len(oids)
 
 
+class ReleaseJob(Message):
+    """Tear a released job out of a worker (multi-tenant lifecycle).
+
+    Destroys the job's objects, uninstalls its template halves, and marks
+    the job id dead so the worker drains the job's in-flight commands
+    without executing their bodies — a cancelled or crashed tenant must
+    never run a task against destroyed data or stall a neighbor.
+    """
+
+    def __init__(self, job_id: int, oids: List[int]):
+        self.job_id = job_id
+        self.oids = oids
+        self.size_bytes = 16 + 16 * len(oids)
+
+
 class UndefineObjects(Message):
     """Driver → controller: drop logical objects from the system."""
 
-    def __init__(self, oids: List[int]):
+    def __init__(self, oids: List[int], job_id: int = 0):
         self.oids = oids
+        self.job_id = job_id
         self.size_bytes = 16 * len(oids)
 
 
@@ -159,11 +179,13 @@ class DispatchCommandBatch(Message):
 class InstallWorkerTemplate(Message):
     """Install the worker half of a worker template (§4.1)."""
 
-    def __init__(self, block_id: str, version: int, entries, reports: List[int]):
+    def __init__(self, block_id: str, version: int, entries, reports: List[int],
+                 job_id: int = 0):
         self.block_id = block_id
         self.version = version
         self.entries = entries  # list[TemplateEntry]
         self.reports = reports  # entry indices whose written value is reported
+        self.job_id = job_id
         self.size_bytes = TASK_DESC_BYTES * len(entries)
 
 
@@ -179,6 +201,7 @@ class InstantiateWorkerTemplate(Message):
         params: Dict[str, Any],
         block_seq: int,
         edits=None,
+        job_id: int = 0,
     ):
         self.block_id = block_id
         self.version = version
@@ -187,6 +210,7 @@ class InstantiateWorkerTemplate(Message):
         self.params = params
         self.block_seq = block_seq
         self.edits = edits or []
+        self.job_id = job_id
         num = 0  # sized below by the controller, which knows the entry count
         self.size_bytes = TASK_ID_BYTES * num + PARAM_BLOCK_BYTES
 

@@ -32,6 +32,7 @@ from ..sim.metrics import Metrics
 from .commands import Command, CommandKind
 from .costs import CostModel
 from .data import ObjectStore
+from .multijob import OID_STRIDE
 from .runtime import FunctionRegistry, TaskContext
 from . import protocol as P
 
@@ -135,8 +136,10 @@ class Worker(P.ReliableEndpoint, Actor):
         self._data_buffer: Dict[Hashable, Tuple[Any, int]] = {}
         self._expected: Dict[Hashable, int] = {}  # tag -> recv cid
 
-        # template and patch caches
-        self._templates: Dict[Tuple[str, int], WorkerHalf] = {}
+        # template and patch caches; templates are keyed per job —
+        # (job_id, block_id, version) — so concurrent jobs reusing a
+        # block id can never clobber each other's halves
+        self._templates: Dict[Tuple[int, str, int], WorkerHalf] = {}
         self._patches: Dict[int, List] = {}
         #: every (patch_id, instance_id) ever run; guards redelivery
         self._ran_patches: set = set()
@@ -165,6 +168,10 @@ class Worker(P.ReliableEndpoint, Actor):
         self._completion_buffer: List[Tuple[int, int, float, Any, Optional[int]]] = []
         self._completion_flush_pending = False
         self.completion_flush_window = 1e-3
+
+        #: job ids the controller has released (cancel/crash); in-flight
+        #: commands of these jobs drain without executing their bodies
+        self._released_jobs: set = set()
 
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
@@ -205,6 +212,8 @@ class Worker(P.ReliableEndpoint, Actor):
         elif isinstance(msg, P.DestroyObjects):
             for oid in msg.oids:
                 self.store.destroy(oid)
+        elif isinstance(msg, P.ReleaseJob):
+            self._on_release_job(msg)
         elif isinstance(msg, P.SaveCheckpoint):
             self._on_save_checkpoint(msg)
         elif isinstance(msg, P.LoadCheckpoint):
@@ -242,14 +251,14 @@ class Worker(P.ReliableEndpoint, Actor):
         self.metrics.incr("protocol.stale_discards")
 
     def _on_install_template(self, msg: P.InstallWorkerTemplate) -> None:
-        if (msg.block_id, msg.version) in self._templates:
+        if (msg.job_id, msg.block_id, msg.version) in self._templates:
             # redelivered install: reinstalling would wipe edits already
             # applied to the cached half
             self._stale()
             return
         entries = [e.clone() if e is not None else None for e in msg.entries]
         half = WorkerHalf(msg.block_id, msg.version, entries, msg.reports)
-        self._templates[half.key] = half
+        self._templates[(msg.job_id, msg.block_id, msg.version)] = half
         self.charge(
             self.costs.install_worker_template_worker_per_task * len(entries)
         )
@@ -268,7 +277,14 @@ class Worker(P.ReliableEndpoint, Actor):
             self._stale()
             return
         self._seen_instances.add(key)
-        half = self._templates[(msg.block_id, msg.version)]
+        half = self._templates.get((msg.job_id, msg.block_id, msg.version))
+        if half is None:
+            raise KeyError(
+                f"worker {self.worker_id}: job {msg.job_id} asked to "
+                f"instantiate template ({msg.block_id!r}, v{msg.version}) "
+                f"which was never installed here (installed: "
+                f"{sorted(self._templates)})"
+            )
         if msg.edits:
             half.apply_edit_ops(msg.edits)
             self.charge(self.costs.worker_edit_per_task * len(msg.edits))
@@ -489,6 +505,29 @@ class Worker(P.ReliableEndpoint, Actor):
                         f"compiled command {i} (cid {got.cid}) differs from "
                         f"interpreted: {field}={g!r} != {w!r}")
 
+    def _on_release_job(self, msg: P.ReleaseJob) -> None:
+        """A tenant was cancelled or crashed: scrub it from this worker.
+
+        Its objects are destroyed and its template halves dropped. Queued
+        and in-flight commands are left to drain through the normal
+        dependency machinery — they complete without executing their task
+        bodies (see :meth:`_task_finished`), so pipelines never wedge and
+        no task ever touches the destroyed data.
+        """
+        self._released_jobs.add(msg.job_id)
+        for oid in msg.oids:
+            self.store.destroy(oid)
+        for key in [k for k in self._templates if k[0] == msg.job_id]:
+            del self._templates[key]
+        self.metrics.incr("jobs.worker_releases")
+
+    def _body_released(self, cmd: Command) -> bool:
+        """True when ``cmd`` belongs to a released job (skip its body)."""
+        anchor = cmd.write[0] if cmd.write else (
+            cmd.read[0] if cmd.read else None)
+        return (anchor is not None
+                and anchor // OID_STRIDE in self._released_jobs)
+
     def _on_install_patch(self, msg: P.InstallPatch) -> None:
         if msg.patch_id in self._patches:
             self._stale()  # redelivered install: the patch already ran
@@ -652,12 +691,16 @@ class Worker(P.ReliableEndpoint, Actor):
             self._execute_send(cmd)
         elif kind == CommandKind.RECV:
             payload, _size = self._data_buffer.pop(cmd.tag)
-            for oid in cmd.write:
-                self.store.put(oid, payload)
+            # a released job's copies drain without resurrecting the
+            # destroyed objects (same rule as task bodies)
+            if not (self._released_jobs and self._body_released(cmd)):
+                for oid in cmd.write:
+                    self.store.put(oid, payload)
             self._complete(cmd, duration=0.0)
         elif kind == CommandKind.CREATE:
-            for oid in cmd.write:
-                self.store.create(oid)
+            if not (self._released_jobs and self._body_released(cmd)):
+                for oid in cmd.write:
+                    self.store.create(oid)
             self._complete(cmd, duration=0.0)
         else:
             raise ValueError(f"unhandled ready command kind {kind}")
@@ -742,7 +785,8 @@ class Worker(P.ReliableEndpoint, Actor):
         if epoch != self._epoch:
             return  # halted since this task started
         self._charged += self._complete_cost + self.callback_overhead
-        if fn.fn is not None:
+        if fn.fn is not None and not (self._released_jobs
+                                      and self._body_released(cmd)):
             ctx = TaskContext(self.store, cmd.params, self.worker_id,
                               cmd.read, cmd.write)
             fn.fn(ctx)
@@ -953,8 +997,10 @@ class Worker(P.ReliableEndpoint, Actor):
     def queued_commands(self) -> int:
         return len(self._pending)
 
-    def has_template(self, block_id: str, version: int) -> bool:
-        return (block_id, version) in self._templates
+    def has_template(self, block_id: str, version: int,
+                     job_id: int = 0) -> bool:
+        return (job_id, block_id, version) in self._templates
 
-    def template_half(self, block_id: str, version: int) -> WorkerHalf:
-        return self._templates[(block_id, version)]
+    def template_half(self, block_id: str, version: int,
+                      job_id: int = 0) -> WorkerHalf:
+        return self._templates[(job_id, block_id, version)]

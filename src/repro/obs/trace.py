@@ -88,10 +88,10 @@ class RunTrace:
     """One controller block run (one ``_BlockRun``)."""
 
     __slots__ = ("seq", "block_id", "mode", "request_id", "num_tasks",
-                 "decide_start", "decide_end", "finish")
+                 "decide_start", "decide_end", "finish", "job_id")
 
     def __init__(self, seq: int, block_id: str, mode: str, request_id: int,
-                 num_tasks: int, decide_start: float):
+                 num_tasks: int, decide_start: float, job_id: int = 0):
         self.seq = seq
         self.block_id = block_id
         self.mode = mode
@@ -100,6 +100,7 @@ class RunTrace:
         self.decide_start = decide_start
         self.decide_end: Optional[float] = None
         self.finish: Optional[float] = None
+        self.job_id = job_id
 
 
 class RequestTrace:
@@ -222,9 +223,10 @@ class Tracer:
 
     # -- controller runs -----------------------------------------------
     def run_begin(self, seq: int, block_id: str, mode: str, request_id: int,
-                  num_tasks: int, decide_start: float) -> None:
+                  num_tasks: int, decide_start: float,
+                  job_id: int = 0) -> None:
         self.runs[seq] = RunTrace(seq, block_id, mode, request_id,
-                                  num_tasks, decide_start)
+                                  num_tasks, decide_start, job_id)
 
     def run_decided(self, seq: int, decide_end: float) -> None:
         rec = self.runs.get(seq)

@@ -16,6 +16,7 @@ from .harness import (  # noqa: F401
     bench_path,
     instantiate_allocations,
     rebalance_section,
+    serve_section,
     load_bench,
     run_harness,
     run_microbenchmarks,
@@ -24,3 +25,4 @@ from .harness import (  # noqa: F401
     write_bench,
 )
 from .rebalance_bench import build_fig09_auto, run_fig09_auto  # noqa: F401
+from .serve_bench import build_job_arrival, run_job_arrival  # noqa: F401

@@ -56,7 +56,12 @@ from ..sim.engine import Simulator
 #: pre/post-fault iteration times, iterations-to-recover, and the
 #: mechanism used (template edits, never reinstalls, in the shipped
 #: configuration).
-SCHEMA_VERSION = 4
+#: v5 adds the ``serve`` section: the multi-tenant ``job_arrival``
+#: workload (seeded Poisson arrivals of fig07/fig08/rotation jobs through
+#: the admission queue and weighted fair-share dispatcher), recording
+#: aggregate task throughput and p95 job latency — both virtual-time
+#: quantities, so CI gates them exactly.
+SCHEMA_VERSION = 5
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -350,6 +355,9 @@ def run_microbenchmarks(num_workers: int = 50) -> Dict[str, float]:
 #: automated-fig09 configuration per scale (workers, iterations)
 REBALANCE_SCALES = {"paper": (16, 40), "small": (8, 30)}
 
+#: job_arrival configuration per scale (workers, jobs)
+SERVE_SCALES = {"paper": (16, 9), "small": (8, 6)}
+
 
 def rebalance_section(scale: str) -> Dict[str, Any]:
     """Automated-fig09 straggler recovery: rebalancer on vs off control."""
@@ -364,6 +372,19 @@ def rebalance_section(scale: str) -> Dict[str, Any]:
         "wall_seconds": round(time.perf_counter() - t0, 3),
         "auto": auto,
         "control": control,
+    }
+
+
+def serve_section(scale: str) -> Dict[str, Any]:
+    """Multi-tenant serving: the seeded job_arrival workload (ROADMAP 1)."""
+    from .serve_bench import run_job_arrival
+
+    workers, jobs = SERVE_SCALES[scale]
+    t0 = time.perf_counter()
+    result = run_job_arrival(num_workers=workers, num_jobs=jobs)
+    return {
+        "wall_seconds": round(time.perf_counter() - t0, 3),
+        "job_arrival": result,
     }
 
 
@@ -410,6 +431,7 @@ def run_harness(scale: str = "paper",
         "baseline_wall_seconds": BASELINE_WALL[scale],
         "speedup_vs_baseline": speedup,
         "rebalance": rebalance_section(scale),
+        "serve": serve_section(scale),
     }
     if microbench:
         report["microbenchmarks"] = run_microbenchmarks()

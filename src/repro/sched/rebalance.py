@@ -208,10 +208,12 @@ class Rebalancer:
         self.warmup = warmup
         self.cooldown = cooldown
         self.controller = None
-        self.trackers: Dict[str, LoadTracker] = {}
-        self._cooldown_left: Dict[str, int] = {}
-        # (block_id, version) -> {(worker, local_index): ct_index}
-        self._locations_rev: Dict[Tuple[str, int], Dict] = {}
+        # multi-tenant: trackers and cooldowns are keyed (job_id, block_id)
+        # so concurrent jobs reusing a block id observe independently
+        self.trackers: Dict[Tuple[int, str], LoadTracker] = {}
+        self._cooldown_left: Dict[Tuple[int, str], int] = {}
+        # (job_id, block_id, version) -> {(worker, local_index): ct_index}
+        self._locations_rev: Dict[Tuple[int, str, int], Dict] = {}
         #: decision log: (sim time, block_id, applied moves, mechanism)
         self.decisions: List[Tuple[float, str, List[Tuple[int, int]], str]] = []
 
@@ -220,63 +222,65 @@ class Rebalancer:
         controller.rebalancer = self
 
     # -- observe -------------------------------------------------------
-    def observe_instance(self, block_id: str, version: int, worker: int,
+    def observe_instance(self, ctx, block_id: str, version: int, worker: int,
                          compute_time: float,
                          task_times: Optional[Dict[int, float]]) -> None:
-        ctrl = self.controller
-        if ctrl.current_version.get(block_id) != version:
+        if ctx.current_version.get(block_id) != version:
             return  # stale instance from before a regeneration
-        wts = ctrl.worker_templates.get((block_id, version))
+        wts = ctx.worker_templates.get((block_id, version))
         if wts is None:
             return
-        tracker = self.trackers.get(block_id)
+        tkey = (ctx.job_id, block_id)
+        tracker = self.trackers.get(tkey)
         if tracker is None:
-            tracker = self.trackers[block_id] = LoadTracker(self.alpha)
+            tracker = self.trackers[tkey] = LoadTracker(self.alpha)
         durations: Dict[int, float] = {}
         if task_times:
-            rev = self._reverse_locations(block_id, version, wts)
+            rev = self._reverse_locations(ctx.job_id, block_id, version, wts)
             for local_index, duration in task_times.items():
                 ct_index = rev.get((worker, local_index))
                 if ct_index is not None:
                     durations[ct_index] = duration
         tracker.observe(worker, compute_time, durations)
 
-    def _reverse_locations(self, block_id: str, version: int,
+    def _reverse_locations(self, job_id: int, block_id: str, version: int,
                            wts: WorkerTemplateSet) -> Dict:
-        key = (block_id, version)
+        key = (job_id, block_id, version)
         rev = self._locations_rev.get(key)
         if rev is None:
-            for stale in [k for k in self._locations_rev if k[0] == block_id]:
+            for stale in [k for k in self._locations_rev
+                          if k[0] == job_id and k[1] == block_id]:
                 del self._locations_rev[stale]
             rev = {loc: ct for ct, loc in wts.task_locations.items()}
             self._locations_rev[key] = rev
         return rev
 
     # -- decide + edit -------------------------------------------------
-    def maybe_rebalance(self, block_id: str) -> List[Tuple[int, int]]:
-        """Run the policy for ``block_id``; returns the applied moves."""
+    def maybe_rebalance(self, ctx, block_id: str) -> List[Tuple[int, int]]:
+        """Run the policy for ``ctx``'s ``block_id``; returns applied moves."""
         ctrl = self.controller
-        tracker = self.trackers.get(block_id)
+        tkey = (ctx.job_id, block_id)
+        tracker = self.trackers.get(tkey)
         if tracker is None:
             return []
-        left = self._cooldown_left.get(block_id, 0)
+        left = self._cooldown_left.get(tkey, 0)
         if left > 0:
-            self._cooldown_left[block_id] = left - 1
+            self._cooldown_left[tkey] = left - 1
             if left == 1:
                 # everything observed during cooldown mixes pre- and
                 # post-edit placements; start the next window clean
                 tracker.reset()
             return []
-        if ctrl.phase.get(block_id, 0) != ctrl.PHASE_WT_INSTALLED:
+        if ctx.phase.get(block_id, 0) != ctrl.PHASE_WT_INSTALLED:
             return []
-        version = ctrl.current_version.get(block_id)
-        wts = ctrl.worker_templates.get((block_id, version))
+        version = ctx.current_version.get(block_id)
+        wts = ctx.worker_templates.get((block_id, version))
         if wts is None:
             return []
         live = ctrl.live_workers
         if len(live) < 2 or tracker.min_samples(live) < self.warmup:
             return []
-        template = ctrl.templates[block_id]
+        template = ctx.templates[block_id]
         max_moves = int(ctrl.edit_threshold * template.num_tasks)
         if max_moves <= 0:
             return []
@@ -298,17 +302,18 @@ class Rebalancer:
             # may conflict with
             if migration_conflict(wts, ct_index, dst) is not None:
                 continue
-            mechanism = ctrl.migrate_tasks(block_id, [(ct_index, dst)])
+            mechanism = ctrl.migrate_tasks(block_id, [(ct_index, dst)],
+                                           job_id=ctx.job_id)
             applied.append((ct_index, dst))
         if not applied:
             return []
-        ctrl.metrics.incr("rebalance_decisions")
-        ctrl.metrics.incr("rebalance_moves", len(applied))
+        ctx.metrics.incr("rebalance_decisions")
+        ctx.metrics.incr("rebalance_moves", len(applied))
         self.decisions.append(
             (ctrl.sim.now, block_id, list(applied), mechanism))
-        self._cooldown_left[block_id] = self.cooldown
+        self._cooldown_left[tkey] = self.cooldown
         tracker.reset()
-        self._locations_rev.pop((block_id, version), None)
+        self._locations_rev.pop((ctx.job_id, block_id, version), None)
         if ctrl._trace is not None:
             ctrl._trace.span(
                 ctrl.name, "rebalance", "rebalance.decision",

@@ -1,9 +1,16 @@
-"""Shared test helpers: tiny programs, reference interpreters, builders."""
+"""Shared test helpers: tiny programs, reference interpreters, builders,
+and the seeded-sweep workhorses (one fig07 run + its observable tuple)
+used by the compiled-template, tracing, rebalancer, and multi-tenant
+equivalence sweeps."""
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import mean_iteration_time
+from repro.apps import LRApp, LRSpec
+from repro.chaos import FaultPlan
 from repro.core.spec import BlockSpec, LogicalTask, StageSpec
 from repro.nimbus import FunctionRegistry, NimbusCluster
 
@@ -81,3 +88,100 @@ def worker_values(cluster: NimbusCluster, oids) -> Dict[int, Any]:
         assert holders, f"object {oid} has no latest holder"
         out[oid] = cluster.workers[min(holders)].store.get(oid)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Seeded-sweep workhorses (shared by the equivalence/property suites)
+# ---------------------------------------------------------------------------
+def run_lr(workers=4, iterations=8, seed=0, partitions_per_worker=4,
+           rebalance=False, chaos_profile=None, chaos_seed=0, trace=None,
+           straggler_scales=None, blocking=False, **cluster_kwargs):
+    """One fig07 logistic-regression run to completion.
+
+    The canonical subject of every seeded sweep: small enough to run in
+    tens of milliseconds, rich enough (templates, reductions, patches
+    under chaos) to exercise the whole control plane. Extra cluster
+    keywords (``use_compiled``, ``patch_cache_cap``, ...) pass through.
+    """
+    spec = LRSpec(num_workers=workers, iterations=iterations,
+                  partitions_per_worker=partitions_per_worker)
+    app = LRApp(spec)
+    plan = (None if chaos_profile is None
+            else FaultPlan.from_profile(chaos_profile, seed=chaos_seed))
+    cluster = NimbusCluster(workers, app.program(blocking=blocking),
+                            registry=app.registry, seed=seed,
+                            chaos_plan=plan, rebalance=rebalance,
+                            trace=trace, straggler_scales=straggler_scales,
+                            **cluster_kwargs)
+    cluster.run_until_finished(max_seconds=1e6)
+    return cluster
+
+
+def virtual_results(cluster, block_id: Optional[str] = None, skip: int = 0):
+    """Everything a run computes in virtual time, as one comparable tuple.
+
+    With ``block_id`` the tuple leads with that block's steady-state mean
+    iteration time (the tracing suite's convention); without it the tuple
+    is (virtual end time, events run, full counter snapshot).
+    """
+    base = (
+        cluster.sim.now,
+        cluster.sim.events_run,
+        cluster.metrics.counters_snapshot(),
+    )
+    if block_id is None:
+        return base
+    return (mean_iteration_time(cluster.metrics, block_id, skip=skip),) + base
+
+
+def random_combine_schedule(seed: int, oids: Sequence[int]):
+    """A seeded random program over ``combine``/``seed`` tasks.
+
+    Returns ``(seed_block, params, blocks, iterations)``: a seeding block
+    that gives every object a parameterized initial value, then 1-3
+    random combine blocks (random read sets, random single writes, split
+    into up to two stages) looped a random number of times. Any control
+    plane that reorders a copy or drops a version changes the fold.
+    """
+    rng = random.Random(seed)
+    oids = list(oids)
+    blocks = []
+    for b in range(rng.randint(1, 3)):
+        tasks = []
+        for _ in range(rng.randint(1, 8)):
+            reads = tuple(rng.sample(oids, rng.randint(0, 3)))
+            write = rng.choice(oids)
+            tasks.append(LogicalTask("combine", read=reads, write=(write,)))
+        split = rng.randint(1, len(tasks))
+        stages = [StageSpec("s0", tasks[:split])]
+        if tasks[split:]:
+            stages.append(StageSpec("s1", tasks[split:]))
+        blocks.append(BlockSpec(f"rand{b}", stages))
+    seed_block = BlockSpec("seedblk", [StageSpec("seed", [
+        LogicalTask("seed", read=(), write=(oid,), param_slot=f"v{oid}")
+        for oid in oids
+    ])])
+    params = {f"v{oid}": rng.randint(1, 100) for oid in oids}
+    iterations = rng.randint(2, 5)
+    return seed_block, params, blocks, iterations
+
+
+def cluster_observables(cluster, oids):
+    """(counters, virtual end time, events, final object values) — the
+    four-way observable the equivalence sweeps compare."""
+    return (
+        cluster.metrics.counters_snapshot(),
+        cluster.sim.now,
+        cluster.sim.events_run,
+        worker_values(cluster, oids),
+    )
+
+
+def assert_identical(actual, expected, label: str) -> None:
+    """Compare two :func:`cluster_observables` tuples field by field."""
+    a_counters, a_now, a_events, a_values = actual
+    e_counters, e_now, e_events, e_values = expected
+    assert a_counters == e_counters, f"{label}: counters diverged"
+    assert a_now == e_now, f"{label}: virtual end time diverged"
+    assert a_events == e_events, f"{label}: event count diverged"
+    assert a_values == e_values, f"{label}: data values diverged"

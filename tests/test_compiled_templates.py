@@ -10,49 +10,30 @@ the full metrics counter snapshot, virtual end time, events run, and the
 final value of every data object.
 """
 
-import random
-
 import pytest
 
 from repro.apps import LRApp, LRSpec
 from repro.chaos import PROFILES, FaultPlan
-from repro.core.spec import BlockSpec, LogicalTask, StageSpec
 from repro.nimbus import NimbusCluster
 from repro.nimbus import protocol as P
 
-from .helpers import combine_registry, simple_define, worker_values
+from .helpers import (
+    assert_identical as _assert_identical,
+    cluster_observables,
+    combine_registry,
+    random_combine_schedule,
+    simple_define,
+    worker_values,
+)
 
 NUM_OBJECTS = 8
 OIDS = list(range(1, NUM_OBJECTS + 1))
 SEEDS = range(20)
 
 
-def _random_schedule(seed):
-    """A seeded random program: seed block + a few combine blocks looped."""
-    rng = random.Random(seed)
-    blocks = []
-    for b in range(rng.randint(1, 3)):
-        tasks = []
-        for _ in range(rng.randint(1, 8)):
-            reads = tuple(rng.sample(OIDS, rng.randint(0, 3)))
-            write = rng.choice(OIDS)
-            tasks.append(LogicalTask("combine", read=reads, write=(write,)))
-        split = rng.randint(1, len(tasks))
-        stages = [StageSpec("s0", tasks[:split])]
-        if tasks[split:]:
-            stages.append(StageSpec("s1", tasks[split:]))
-        blocks.append(BlockSpec(f"rand{b}", stages))
-    seed_block = BlockSpec("seedblk", [StageSpec("seed", [
-        LogicalTask("seed", read=(), write=(oid,), param_slot=f"v{oid}")
-        for oid in OIDS
-    ])])
-    params = {f"v{oid}": rng.randint(1, 100) for oid in OIDS}
-    iterations = rng.randint(2, 5)
-    return seed_block, params, blocks, iterations
-
-
 def _run(seed, use_compiled, chaos_profile=None, num_workers=3):
-    seed_block, params, blocks, iterations = _random_schedule(seed)
+    seed_block, params, blocks, iterations = random_combine_schedule(
+        seed, OIDS)
 
     def program(job):
         yield job.define(simple_define(
@@ -70,25 +51,7 @@ def _run(seed, use_compiled, chaos_profile=None, num_workers=3):
                             registry=combine_registry(),
                             use_compiled=use_compiled, **kwargs)
     cluster.run_until_finished(max_seconds=1e6)
-    return _observables(cluster)
-
-
-def _observables(cluster):
-    return (
-        cluster.metrics.counters_snapshot(),
-        cluster.sim.now,
-        cluster.sim.events_run,
-        worker_values(cluster, OIDS),
-    )
-
-
-def _assert_identical(compiled, interpreted, label):
-    c_counters, c_now, c_events, c_values = compiled
-    i_counters, i_now, i_events, i_values = interpreted
-    assert c_counters == i_counters, f"{label}: counters diverged"
-    assert c_now == i_now, f"{label}: virtual end time diverged"
-    assert c_events == i_events, f"{label}: event count diverged"
-    assert c_values == i_values, f"{label}: data values diverged"
+    return cluster_observables(cluster, OIDS)
 
 
 @pytest.mark.parametrize("seed", SEEDS)

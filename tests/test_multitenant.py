@@ -1,0 +1,316 @@
+"""Multi-tenant serving: cross-job isolation, admission, and fair share.
+
+The load-bearing property (ROADMAP item 1's acceptance bar): a job
+co-scheduled with strangers computes **bit-identical values** to the same
+job running alone — across a 10-seed sweep, under chaos fault plans, with
+the adaptive rebalancer enabled, and behind the controller's fair-share
+dispatch cap. Timing observables (virtual end time, event counts) are
+*expected* to differ under contention; the isolation contract is about
+what each job computes, never when.
+
+Alongside the property sweeps: admission-control lifecycle (descriptive
+queue-overflow rejection; a cancelled job releases its namespace and
+never stalls the others) and per-job observability (metrics streams
+round-trip through JSON, never leak across jobs, and match a golden
+snapshot).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps import LRApp, LRSpec
+from repro.chaos import FaultPlan
+from repro.nimbus import (
+    OID_STRIDE,
+    FairShareQueue,
+    JobRejected,
+    NimbusCluster,
+)
+from repro.obs import snapshot_metrics
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_SNAPSHOT = os.path.join(DATA_DIR, "golden_multijob_metrics.json")
+
+SEEDS = range(10)
+#: the second tenant runs fewer iterations so the pair is asymmetric
+#: (different lifetimes, different result histories)
+SHORT_ITERS = 3
+
+
+def small_lr_app(seed=0, workers=3, iterations=5):
+    """A real-compute fig07 job small enough for 10-seed co-run sweeps.
+
+    ``real_compute=True`` is the point: isolation must hold for the
+    actual numpy values each job computes, not just for virtual timings.
+    """
+    spec = LRSpec(num_workers=workers, iterations=iterations,
+                  partitions_per_worker=2, rows_per_partition=16,
+                  dim=20, data_bytes=1e6, real_compute=True, seed=seed)
+    return LRApp(spec)
+
+
+def serve_cluster(app, seed=0, chaos_profile=None, chaos_seed=0,
+                  **cluster_kwargs):
+    """A serve-mode cluster (no resident program; jobs arrive via the
+    JobManager) sized to the app's spec."""
+    plan = (None if chaos_profile is None
+            else FaultPlan.from_profile(chaos_profile, seed=chaos_seed))
+    return NimbusCluster(app.spec.num_workers, program=None,
+                         registry=app.registry, seed=seed, chaos_plan=plan,
+                         **cluster_kwargs)
+
+
+def canon(value):
+    """Hashable bit-exact form of a task result (arrays by raw bytes)."""
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return tuple(sorted((k, canon(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(canon(v) for v in value)
+    return value
+
+
+def job_observables(cluster, job_id, app):
+    """Everything a job *computed*: block-return history plus the final
+    value of every object it defined, keyed by job-local oid. Excludes
+    all timing (co-scheduling legitimately changes when things happen)."""
+    ctx = cluster.controller.jobs[job_id]
+    values = {}
+    for oid, _name, _part, _size, _home in app.variables.definitions:
+        goid = ctx.goid(oid)
+        holders = ctx.directory.holders_of_latest(goid)
+        assert holders, f"job {job_id}: object {oid} has no latest holder"
+        values[oid] = canon(cluster.workers[min(holders)].store.get(goid))
+    history = tuple(
+        (block_id, tuple(sorted((k, canon(v)) for k, v in results.items())))
+        for block_id, results in ctx.results_history
+    )
+    return history, values
+
+
+def run_solo(app, iterations=None, seed=0, chaos_profile=None,
+             chaos_seed=0, **cluster_kwargs):
+    """The reference: the same job admitted alone through the JobManager."""
+    cluster = serve_cluster(app, seed=seed, chaos_profile=chaos_profile,
+                            chaos_seed=chaos_seed, **cluster_kwargs)
+    record = cluster.jobs.submit(
+        app.program(blocking=False, iterations=iterations))
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    return job_observables(cluster, record.job_id, app)
+
+
+def run_pair(app, seed=0, chaos_profile=None, chaos_seed=0,
+             weights=(1.0, 1.0), **cluster_kwargs):
+    """Two co-scheduled tenants of the same app (asymmetric lifetimes)."""
+    cluster = serve_cluster(app, seed=seed, chaos_profile=chaos_profile,
+                            chaos_seed=chaos_seed, **cluster_kwargs)
+    a = cluster.jobs.submit(app.program(blocking=False), weight=weights[0])
+    b = cluster.jobs.submit(app.program(blocking=False,
+                                        iterations=SHORT_ITERS),
+                            weight=weights[1])
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    return (job_observables(cluster, a.job_id, app),
+            job_observables(cluster, b.job_id, app))
+
+
+# ---------------------------------------------------------------------------
+# The isolation property: co-scheduled values == solo values, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cojob_values_bit_identical_to_solo(seed):
+    app = small_lr_app(seed=seed)
+    solo_a = run_solo(app, seed=seed)
+    solo_b = run_solo(app, iterations=SHORT_ITERS, seed=seed)
+    co_a, co_b = run_pair(app, seed=seed)
+    assert co_a == solo_a, f"seed {seed}: co-scheduling changed job A"
+    assert co_b == solo_b, f"seed {seed}: co-scheduling changed job B"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cojob_isolation_holds_under_chaos(seed):
+    """Chaos co-runs compare against *fault-free* solo runs: the hardened
+    protocol makes faults invisible to values, tenants or not."""
+    app = small_lr_app(seed=seed)
+    solo_a = run_solo(app, seed=seed)
+    solo_b = run_solo(app, iterations=SHORT_ITERS, seed=seed)
+    co_a, co_b = run_pair(app, seed=seed, chaos_profile="lossy",
+                          chaos_seed=seed)
+    assert co_a == solo_a, f"seed {seed}: chaos co-run changed job A"
+    assert co_b == solo_b, f"seed {seed}: chaos co-run changed job B"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cojob_isolation_holds_with_rebalancer_on(seed):
+    app = small_lr_app(seed=seed)
+    solo_a = run_solo(app, seed=seed)
+    solo_b = run_solo(app, iterations=SHORT_ITERS, seed=seed)
+    co_a, co_b = run_pair(app, seed=seed, rebalance=True)
+    assert co_a == solo_a, f"seed {seed}: rebalancer co-run changed job A"
+    assert co_b == solo_b, f"seed {seed}: rebalancer co-run changed job B"
+
+
+def test_cojob_isolation_holds_behind_dispatch_cap_and_weights():
+    """Fair-share queueing (cap 1 forces every block through the stride
+    scheduler, 3:1 weights skew the order) must reorder *time*, not
+    values."""
+    app = small_lr_app()
+    solo_a = run_solo(app)
+    solo_b = run_solo(app, iterations=SHORT_ITERS)
+    co_a, co_b = run_pair(app, weights=(1.0, 3.0), dispatch_inflight_cap=1)
+    assert co_a == solo_a
+    assert co_b == solo_b
+
+
+# ---------------------------------------------------------------------------
+# Fair-share queue semantics
+# ---------------------------------------------------------------------------
+def test_fair_share_queue_serves_weighted_order():
+    q = FairShareQueue()
+    for i in range(3):
+        q.push(1, 1.0, f"a{i}")
+        q.push(2, 2.0, f"b{i}")
+    order = [q.pop()[1] for _ in range(len(q))]
+    # job 2 (double weight) gets two dequeues per job-1 dequeue; ties on
+    # virtual time break toward the lower job id
+    assert order == ["a0", "b0", "b1", "a1", "b2", "a2"]
+
+
+def test_fair_share_queue_drop_job_discards_backlog():
+    q = FairShareQueue()
+    q.push(1, 1.0, "a0")
+    q.push(2, 1.0, "b0")
+    q.push(2, 1.0, "b1")
+    assert q.drop_job(2) == 2
+    assert len(q) == 1
+    assert q.pop() == (1, "a0")
+    assert not q
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+# ---------------------------------------------------------------------------
+# Admission control and lifecycle
+# ---------------------------------------------------------------------------
+def test_admission_overflow_is_rejected_descriptively():
+    app = small_lr_app()
+    cluster = serve_cluster(app, max_concurrent_jobs=1, job_queue_cap=1)
+    cluster.jobs.submit(app.program(blocking=False))
+    cluster.jobs.submit(app.program(blocking=False))  # waits behind the cap
+    with pytest.raises(JobRejected,
+                       match=r"1 jobs running \(cap 1\) and the wait queue "
+                             r"is full \(1/1\)"):
+        cluster.jobs.submit(app.program(blocking=False))
+    assert cluster.metrics.count("jobs_rejected") == 1
+    assert len(cluster.jobs.rejections) == 1
+    # the rejection harmed nobody: both accepted jobs run to completion
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    assert cluster.metrics.count("jobs_finished") == 2
+
+
+def test_cancelled_job_releases_namespace_and_never_stalls_others():
+    app = small_lr_app()
+    solo_b = run_solo(app)
+    cluster = serve_cluster(app)
+    a = cluster.jobs.submit(app.program(blocking=False))
+    b = cluster.jobs.submit(app.program(blocking=False))
+    # tear job A down mid-run, well after its objects and templates exist
+    cluster.sim.schedule_at(0.004, lambda: cluster.jobs.cancel(a.job_id))
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    assert cluster.jobs.records[a.job_id].state == "cancelled"
+    assert cluster.jobs.records[b.job_id].state == "finished"
+    # the survivor's values are untouched by its neighbor's demise
+    assert job_observables(cluster, b.job_id, app) == solo_b
+    # A's namespace is gone from the controller...
+    assert a.job_id not in cluster.controller.jobs
+    # ...and its objects are gone from every worker store
+    lo, hi = a.job_id * OID_STRIDE, (a.job_id + 1) * OID_STRIDE
+    leaked = {worker_id: [oid for oid in worker.store.live_objects()
+                          if lo <= oid < hi]
+              for worker_id, worker in cluster.workers.items()}
+    assert not any(leaked.values()), f"cancelled job left objects: {leaked}"
+
+
+def test_queued_job_admitted_after_a_cancellation():
+    app = small_lr_app()
+    cluster = serve_cluster(app, max_concurrent_jobs=1, job_queue_cap=2)
+    a = cluster.jobs.submit(app.program(blocking=False))
+    b = cluster.jobs.submit(app.program(blocking=False,
+                                        iterations=SHORT_ITERS))
+    assert cluster.jobs.records[b.job_id].state == "queued"
+    cluster.jobs.cancel(a.job_id)
+    assert cluster.jobs.records[b.job_id].state == "running"
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    assert cluster.jobs.records[b.job_id].state == "finished"
+
+
+# ---------------------------------------------------------------------------
+# Per-job observability: round-trip, no leakage, golden snapshot
+# ---------------------------------------------------------------------------
+def _virtual_pair_cluster():
+    """A deterministic virtual-time co-run (spin-wait tasks, no numpy)
+    used for the obs-stream assertions and the golden snapshot."""
+    app = LRApp(LRSpec(num_workers=4, iterations=6,
+                       partitions_per_worker=2))
+    cluster = NimbusCluster(4, program=None, registry=app.registry)
+    a = cluster.jobs.submit(app.program(blocking=False))
+    b = cluster.jobs.submit(app.program(blocking=False, iterations=4),
+                            weight=2.0)
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    return cluster, a, b
+
+
+def test_per_job_metrics_round_trip_without_cross_job_leakage():
+    cluster, a, b = _virtual_pair_cluster()
+    snap_a = snapshot_metrics(a.metrics)
+    snap_b = snapshot_metrics(b.metrics)
+    assert json.loads(json.dumps(snap_a)) == snap_a
+    assert json.loads(json.dumps(snap_b)) == snap_b
+    # each job's control-plane decisions land in its own stream...
+    assert snap_a["counters"]["tasks_scheduled"] > 0
+    assert snap_b["counters"]["tasks_scheduled"] > 0
+    assert snap_a["counters"]["template_instantiations"] > 0
+    # ...sized to that job's own program (B ran fewer iterations)
+    assert (snap_b["counters"]["tasks_scheduled"]
+            < snap_a["counters"]["tasks_scheduled"])
+    # and none of it leaks into the shared job-0 stream, which carries
+    # only cluster-wide facts (worker execution, admission events)
+    assert cluster.metrics.count("tasks_scheduled") == 0
+    assert cluster.metrics.count("template_instantiations") == 0
+    assert cluster.metrics.count("tasks_executed") > 0
+    assert cluster.metrics.count("jobs_admitted") == 2
+
+
+def test_traced_corun_tags_every_run_with_its_job_id():
+    app = LRApp(LRSpec(num_workers=4, iterations=4,
+                       partitions_per_worker=2))
+    cluster = NimbusCluster(4, program=None, registry=app.registry,
+                            trace=True)
+    a = cluster.jobs.submit(app.program(blocking=False))
+    b = cluster.jobs.submit(app.program(blocking=False))
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+    job_ids = {run.job_id for run in cluster.tracer.runs.values()}
+    assert job_ids == {a.job_id, b.job_id}
+
+
+def test_per_job_snapshots_match_golden():
+    """The golden file pins the exact per-job counter streams of the
+    deterministic co-run — any cross-job bleed, double-count, or dropped
+    decision changes it."""
+    cluster, a, b = _virtual_pair_cluster()
+    actual = {
+        "job_1": snapshot_metrics(a.metrics)["counters"],
+        "job_2": snapshot_metrics(b.metrics)["counters"],
+        "cluster": {
+            name: cluster.metrics.count(name)
+            for name in ("jobs_registered", "jobs_admitted",
+                         "jobs_finished", "tasks_executed",
+                         "tasks_scheduled")
+        },
+    }
+    with open(GOLDEN_SNAPSHOT) as fh:
+        expected = json.load(fh)
+    assert actual == expected

@@ -17,10 +17,7 @@ import os
 
 import pytest
 
-from repro.analysis import critical_path, mean_iteration_time, render_critical_path
-from repro.apps import LRApp, LRSpec
-from repro.chaos import FaultPlan
-from repro.nimbus import NimbusCluster
+from repro.analysis import critical_path, render_critical_path
 from repro.obs import (
     Tracer,
     snapshot_metrics,
@@ -30,6 +27,8 @@ from repro.obs import (
 from repro.obs import trace as trace_mod
 from repro.sim.metrics import Metrics
 
+from . import helpers
+
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 GOLDEN_TRACE = os.path.join(DATA_DIR, "golden_trace.json")
 
@@ -37,25 +36,16 @@ LR_BLOCK = "lr.iteration"
 
 
 def run_lr(trace, seed=0, chaos_seed=None, workers=3, iterations=6):
-    spec = LRSpec(num_workers=workers, iterations=iterations,
-                  partitions_per_worker=4)
-    app = LRApp(spec)
-    plan = (None if chaos_seed is None
-            else FaultPlan.from_profile("lossy", seed=chaos_seed))
-    cluster = NimbusCluster(workers, app.program(blocking=False),
-                            registry=app.registry, seed=seed,
-                            chaos_plan=plan, trace=trace)
-    cluster.run_until_finished(max_seconds=1e6)
-    return cluster
+    """This suite's convention: chaos means the "lossy" profile, and the
+    first (trace on/off) argument is what each test varies."""
+    return helpers.run_lr(
+        workers=workers, iterations=iterations, seed=seed,
+        chaos_profile=None if chaos_seed is None else "lossy",
+        chaos_seed=0 if chaos_seed is None else chaos_seed, trace=trace)
 
 
 def virtual_results(cluster):
-    return (
-        mean_iteration_time(cluster.metrics, LR_BLOCK, skip=2),
-        cluster.sim.now,
-        cluster.sim.events_run,
-        cluster.metrics.counters_snapshot(),
-    )
+    return helpers.virtual_results(cluster, LR_BLOCK, skip=2)
 
 
 # ---------------------------------------------------------------------------

@@ -13,34 +13,12 @@ import random
 import pytest
 
 from repro.apps import LRApp, LRSpec
-from repro.chaos import FaultPlan
 from repro.nimbus import NimbusCluster
 from repro.sched import GreedyLeastLoaded, LoadTracker
 
+from .helpers import run_lr, virtual_results
+
 LR_BLOCK = "lr.iteration"
-
-
-def run_lr(workers=4, iterations=8, seed=0, rebalance=False,
-           chaos_profile=None, chaos_seed=0, straggler_scales=None):
-    spec = LRSpec(num_workers=workers, iterations=iterations,
-                  partitions_per_worker=4)
-    app = LRApp(spec)
-    plan = (None if chaos_profile is None
-            else FaultPlan.from_profile(chaos_profile, seed=chaos_seed))
-    cluster = NimbusCluster(workers, app.program(blocking=False),
-                            registry=app.registry, seed=seed,
-                            chaos_plan=plan, rebalance=rebalance,
-                            straggler_scales=straggler_scales)
-    cluster.run_until_finished(max_seconds=1e6)
-    return cluster
-
-
-def virtual_results(cluster):
-    return (
-        cluster.sim.now,
-        cluster.sim.events_run,
-        cluster.metrics.counters_snapshot(),
-    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,9 +1,13 @@
 """Regression tests pinning bugs found during development.
 
-Both were discovered by the hypothesis property suite
-(tests/test_properties.py) and are kept here as explicit, minimal
-reproducers with the story of what went wrong.
+The migration bugs (1-3) were discovered by the hypothesis property
+suite (tests/test_properties.py); the error-reporting regressions (4)
+came out of the multi-tenant work, where bare ``KeyError: <id>``
+messages made cross-job failures undebuggable. Each is kept as an
+explicit, minimal reproducer with the story of what went wrong.
 """
+
+import pytest
 
 from repro.core.spec import BlockSpec, LogicalTask, StageSpec
 from repro.nimbus import NimbusCluster
@@ -12,6 +16,7 @@ from repro.nimbus import protocol as P
 from .helpers import (
     combine_registry,
     reference_execute,
+    run_lr,
     simple_define,
     worker_values,
 )
@@ -81,6 +86,62 @@ def test_bug2_migrating_read_modify_write_task_does_not_deadlock():
     cluster, expected = run_migrating(block, move=(0, 0))
     values = worker_values(cluster, OIDS)
     assert values == {oid: expected.get(oid) for oid in OIDS}
+
+
+def test_bug4_unknown_object_placement_error_names_job_and_ids():
+    """Bug 4 (multi-tenant hardening): a task referencing an object its job
+    never defined used to surface as a bare ``KeyError: <oid>`` from the
+    placement map — useless when several jobs share the controller. The
+    error must now name the job, the job-local id, and the global id."""
+    cluster = run_lr(workers=2, iterations=2)
+    with pytest.raises(KeyError, match=(
+            r"job 0: cannot place a task touching unknown object id 999999 "
+            r"\(global id 999999\); the job never defined it")):
+        cluster.controller._assign_worker(read=(999999,))
+
+
+def test_bug4_unknown_block_instantiation_error_lists_installed_blocks():
+    """Instantiating a block with no installed controller template must
+    name the job and enumerate what IS installed, not KeyError on a dict."""
+    cluster = run_lr(workers=2, iterations=2)
+    controller = cluster.controller
+    msg = P.InstantiateBlock("ghost", 0, 0, {})
+    with pytest.raises(KeyError) as err:
+        controller._process_instantiate(controller._job0, msg)
+    text = str(err.value)
+    assert "job 0: no controller template installed for block 'ghost'" in text
+    assert "installed blocks:" in text
+    assert "lr.iteration" in text  # the real suspects are listed
+
+
+def test_bug4_migration_errors_name_the_job():
+    """migrate_tasks must distinguish \"no such job\" from \"job exists but
+    the block's template was never captured\" — and say which job."""
+    cluster = run_lr(workers=2, iterations=2)
+    with pytest.raises(KeyError, match=(
+            r"cannot migrate tasks of block 'x': job 99 is not registered "
+            r"\(live jobs: \[0\]\)")):
+        cluster.controller.migrate_tasks("x", [], job_id=99)
+    with pytest.raises(KeyError, match=(
+            r"job 0: cannot migrate tasks of block 'ghost': no controller "
+            r"template captured yet")):
+        cluster.controller.migrate_tasks("ghost", [], job_id=0)
+
+
+def test_bug4_worker_unknown_template_error_names_job_and_version():
+    """A worker asked to instantiate a template it never had installed
+    must report the worker, the requesting job, and the (block, version)
+    pair — the raw dict KeyError hid all three."""
+    cluster = run_lr(workers=2, iterations=2)
+    worker = cluster.workers[0]
+    msg = P.InstantiateWorkerTemplate("ghost", 0, instance_id=10**9,
+                                      cid_base=10**9, params={}, block_seq=0,
+                                      job_id=7)
+    with pytest.raises(KeyError) as err:
+        worker._on_instantiate_template(msg)
+    text = str(err.value)
+    assert ("worker 0: job 7 asked to instantiate template ('ghost', v0) "
+            "which was never installed here") in text
 
 
 def test_bug3_intermediate_result_not_marked_final_holder():
