@@ -43,6 +43,8 @@ GOLDEN_ITERATION = {
         20: 0.20854723278689025,
         50: 0.08559641311475552,
         100: 0.044612806557382534,
+        # schema v6: the strong-scaling stress row, 10x the paper's max
+        1000: 0.15197394285638868,
     },
     "fig08_kmeans": {
         10: 0.6174654584615371,
@@ -59,7 +61,8 @@ GOLDEN_ITERATION = {
 }
 
 #: control-plane decision counters are scale-keyed only through task counts
-GOLDEN_TASKS = {10: 12211.0, 20: 24365.0, 50: 60827.0, 100: 121555.0}
+GOLDEN_TASKS = {10: 12211.0, 20: 24365.0, 50: 60827.0, 100: 121555.0,
+                1000: 1214477.0}
 GOLDEN_DECISIONS = {
     "auto_validations": 10.0,
     "full_validations": 1.0,
@@ -155,6 +158,72 @@ def test_no_wall_clock_regression_vs_committed(report):
         )
 
 
+def test_strong_scaling_fig07_at_1000_holds_fidelity(report):
+    """Schema v6: the 1000-worker fig07 row — 10x the paper's largest
+    configuration — completes and computes the exact golden virtual
+    results (iteration time and every control-plane decision counter)."""
+    rows = report["strong_scaling"]["fig07_lr"]
+    if not rows:
+        pytest.skip("strong scaling runs at paper scale only")
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["workers"] == 1000
+    assert row["mean_iteration_time"] == GOLDEN_ITERATION["fig07_lr"][1000], \
+        "fig07@1000: virtual iteration time drifted"
+    counters = dict(row["counters"])
+    assert counters.pop("tasks_executed") == GOLDEN_TASKS[1000]
+    assert counters.pop("tasks_scheduled") == GOLDEN_TASKS[1000]
+    assert counters == GOLDEN_DECISIONS, \
+        "fig07@1000: control-plane decisions changed"
+    assert row["events_per_second"] > 0
+    assert row["wall_seconds"] < 600, \
+        "fig07@1000 no longer completes in reasonable wall time"
+
+
+def test_no_events_per_second_regression_vs_committed(report):
+    """Schema v6: the event-loop throughput gate. Event counts are
+    deterministic, so events/second regressing while wall stays flat is
+    impossible — this is the wall gate restated in the loop's own unit,
+    with the same 2x head-room for noisy shared CI machines."""
+    committed = load_bench(bench_path(REPO_ROOT))
+    if committed is None or SCALE not in committed.get("scales", {}):
+        pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
+    before = committed["scales"][SCALE]["workloads"]
+    for workload, rows in report["workloads"].items():
+        if workload not in before:
+            continue
+        committed_rate = (sum(r["events"] for r in before[workload])
+                          / sum(r["wall_seconds"] for r in before[workload]))
+        current_rate = (sum(r["events"] for r in rows)
+                        / sum(r["wall_seconds"] for r in rows))
+        assert current_rate >= 0.5 * committed_rate, (
+            f"{workload}: {current_rate:,.0f} events/s vs committed "
+            f"{committed_rate:,.0f} — >2x throughput regression"
+        )
+
+
+def test_engine_throughput_floor_vs_committed(report):
+    """Schema v6: fail if the raw engine microbenchmark regresses more
+    than 20% against the committed BENCH rate."""
+    committed = load_bench(bench_path(REPO_ROOT))
+    if committed is None or SCALE not in committed.get("scales", {}):
+        pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
+    if committed.get("schema_version") != 6:
+        # v6 changed the measurement itself (fresh simulator per chunk —
+        # the old shared simulator inflated the rate), so pre-v6 numbers
+        # are not comparable
+        pytest.skip("committed engine rate predates the v6 methodology")
+    micro = committed["scales"][SCALE].get("microbenchmarks")
+    if not micro or "engine_events_per_sec" not in micro:
+        pytest.skip("no committed engine throughput to gate against")
+    committed_rate = micro["engine_events_per_sec"]
+    current_rate = report["microbenchmarks"]["engine_events_per_sec"]
+    assert current_rate >= 0.8 * committed_rate, (
+        f"engine_events_per_sec {current_rate:,.0f} vs committed "
+        f"{committed_rate:,.0f} — >20% regression"
+    )
+
+
 def test_microbenchmarks_report_positive_rates(report):
     micro = report["microbenchmarks"]
     assert set(micro) == {
@@ -229,8 +298,9 @@ def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 5
+    assert doc["schema_version"] == 6
     assert SCALE in doc["scales"]
+    assert "strong_scaling" in doc["scales"][SCALE]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
     assert doc["scales"][SCALE]["allocations"].keys() == \

@@ -51,8 +51,23 @@ class ReductionTree:
             f"{name}.result", partial_size, home=root_worker)
 
     def leaves_on(self, worker: int) -> List[int]:
-        return [oid for p, oid in enumerate(self.leaf_oids)
-                if self.leaf_home(p) == worker]
+        return self._leaves_by_worker().get(worker, [])
+
+    def _leaves_by_worker(self) -> Dict[int, List[int]]:
+        """Leaf oids grouped by home worker, in partition order.
+
+        One O(partitions) pass, cached: the naive per-worker scan is
+        O(workers x partitions), which dominates program construction at
+        1000 workers (80k partitions).
+        """
+        cached = getattr(self, "_leaves_cache", None)
+        if cached is None:
+            cached = {}
+            home = self.leaf_home
+            for p, oid in enumerate(self.leaf_oids):
+                cached.setdefault(home(p), []).append(oid)
+            self._leaves_cache = cached
+        return cached
 
     def stages(
         self,

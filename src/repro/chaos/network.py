@@ -36,6 +36,10 @@ REORDER_FLUSH = 0.01
 class ChaosNetwork(Network):
     """Full-mesh network with plan-driven fault injection."""
 
+    #: any transmission (loopback included) may be dropped by the plan, so
+    #: the reliable layer must keep full retransmission bookkeeping
+    lossless = False
+
     def __init__(self, sim: Simulator, plan: FaultPlan, **kwargs):
         super().__init__(sim, **kwargs)
         self.plan = plan

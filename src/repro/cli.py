@@ -43,6 +43,7 @@ from .baselines import MPICluster, NaiadCluster, SparkCluster
 from .chaos import PROFILES, FaultPlan
 from .nimbus import NimbusCluster
 from .perf import SCALES
+from .perf.harness import WORKLOADS
 
 SYSTEMS = {
     "nimbus": NimbusCluster,
@@ -369,6 +370,38 @@ def cmd_perf(args) -> None:
         print(f"wrote {path}")
 
 
+def cmd_profile(args) -> None:
+    """Profile one harness workload; print the top cumulative functions.
+
+    This is attribution for perf work: the same timed run the harness
+    makes, under cProfile, with the hottest call paths printed instead of
+    buried in a dump file (use ``--out`` to keep the stats for snakeviz
+    or pstats digging).
+    """
+    import cProfile
+    import pstats
+
+    from .perf import timed_workload
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        row = timed_workload(args.workload, args.workers,
+                             iterations=args.iterations)
+    finally:
+        profiler.disable()
+    print(f"{args.workload}: {row['workers']} workers, "
+          f"{args.iterations} iterations — wall {row['wall_seconds']:.3f} s, "
+          f"{row['events']:,} events "
+          f"({row['events_per_second']:,} events/s), "
+          f"iteration {row['mean_iteration_time'] * 1000:.2f} ms")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.out:
+        profiler.dump_stats(args.out)
+        print(f"profile written to {args.out}")
+
+
 def cmd_rebalance(args) -> None:
     from .perf.rebalance_bench import run_fig09_auto
 
@@ -572,6 +605,19 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-write", action="store_true",
                       help="print the report without touching the BENCH file")
     perf.set_defaults(fn=cmd_perf)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one harness workload and print the "
+                        "top cumulative functions (perf attribution)")
+    profile.add_argument("--workload", choices=sorted(WORKLOADS),
+                         default="fig07_lr")
+    profile.add_argument("--workers", type=int, default=100)
+    profile.add_argument("--iterations", type=int, default=14)
+    profile.add_argument("--top", type=int, default=30, metavar="N",
+                         help="number of functions to print")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="also dump raw cProfile stats to PATH")
+    profile.set_defaults(fn=cmd_profile)
 
     return parser
 

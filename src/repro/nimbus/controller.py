@@ -483,9 +483,9 @@ class Controller(P.ReliableEndpoint, Actor):
         ctx = run.ctx
         sizes = None
         directory = ctx.directory
-        fresh = directory.is_fresh
+        holders_d, latest_d = directory.freshness_maps()
         for oid in read:
-            if not fresh(oid, worker):
+            if holders_d[oid].get(worker, -1) != latest_d[oid]:
                 src = min(directory.holders_of_latest(oid))
                 if sizes is None:
                     sizes = self.object_sizes(ctx)
@@ -530,21 +530,27 @@ class Controller(P.ReliableEndpoint, Actor):
             capture = False  # already installed (e.g. resubmitted after recovery)
         returns_rev = {oid: name for name, oid in block.returns.items()}
         assignment: List[int] = []
+        # the per-task cost is constant across the block, and nothing in the
+        # loop observes _charged (dispatches stay buffered until the flush),
+        # so the charge folds into a local accumulator — same float-addition
+        # sequence as per-task self.charge(cost), one attribute store
+        cost = self.costs.central_schedule_per_task
+        if receive_cost:
+            cost += self.costs.central_receive_per_task
+        if capture:
+            cost += self.costs.install_controller_template_per_task
+        schedule = self._schedule_task_centrally
+        assign = self._assign_worker
+        charged = self._charged
         self._begin_dispatch_batch()
         for _stage_name, task in block.all_tasks():
-            worker = self._assign_worker(ctx, task.read, task.write)
+            worker = assign(ctx, task.read, task.write)
             assignment.append(worker)
-            cost = self.costs.central_schedule_per_task
-            if receive_cost:
-                cost += self.costs.central_receive_per_task
-            if capture:
-                cost += self.costs.install_controller_template_per_task
-            self.charge(cost)
+            charged += cost
             task_params = params.get(task.param_slot) if task.param_slot else None
-            self._schedule_task_centrally(
-                run, task.function, task.read, task.write, worker,
-                task_params, returns_rev,
-            )
+            schedule(run, task.function, task.read, task.write, worker,
+                     task_params, returns_rev)
+        self._charged = charged
         self._flush_dispatch_batch(run)
         ctx.metrics.incr("tasks_scheduled", block.num_tasks)
         if capture:
@@ -1107,11 +1113,37 @@ class Controller(P.ReliableEndpoint, Actor):
     def _on_command_complete_batch(self, msg: P.CommandCompleteBatch) -> None:
         # the per-completion cost is charged per item: coalescing saves
         # messages and event overhead, not modeled controller work
-        self.charge(self.costs.controller_completion_per_task
-                    * len(msg.items))
+        items = msg.items
+        self.charge(self.costs.controller_completion_per_task * len(items))
         worker_id = msg.worker_id
-        for cid, block_seq, duration, value, _oid in msg.items:
-            self._complete_command(worker_id, cid, block_seq, duration, value)
+        if type(self)._complete_command is not Controller._complete_command:
+            # a subclass hooks per-command completion (the Spark baseline's
+            # stage barrier) — keep the one-call-per-item contract for it
+            for cid, block_seq, duration, value, _oid in items:
+                self._complete_command(worker_id, cid, block_seq,
+                                       duration, value)
+            return
+        # flat walk over the item array: the run lookup is hoisted per
+        # block_seq group (batches overwhelmingly carry one run), and the
+        # per-item fold inlines _complete_command body-for-body
+        runs = self.runs
+        run = None
+        run_seq = None
+        for cid, block_seq, duration, value, _oid in items:
+            if block_seq != run_seq:
+                run_seq = block_seq
+                run = runs.get(block_seq)
+            if run is None:
+                continue  # dropped by recovery (or a released job)
+            run.outstanding -= 1
+            cbw = run.compute_by_worker
+            cbw[worker_id] = cbw.get(worker_id, 0.0) + duration
+            if cid in run.return_cids:
+                name, _o = run.return_cids[cid]
+                run.results[name] = value
+            if run.outstanding == 0 and not run.open:
+                self._finish_block(run)
+                run = runs.get(block_seq)  # gone now; later items drop
 
     def _complete_command(self, worker_id: int, cid: int, block_seq: int,
                           duration: float, value: Any) -> None:

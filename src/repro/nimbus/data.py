@@ -118,6 +118,19 @@ class ObjectDirectory:
         """True when ``worker`` holds the latest version of ``oid``."""
         return self._holders[oid].get(worker, -1) == self._latest[oid]
 
+    def freshness_maps(self) -> Tuple[Dict[ObjectId, Dict[WorkerId, int]],
+                                      Dict[ObjectId, int]]:
+        """The raw ``(holders, latest)`` maps behind :meth:`is_fresh`.
+
+        Read-only view for the central scheduler's per-read freshness walk,
+        which at paper scale checks hundreds of thousands of (oid, worker)
+        pairs per warm-up and cannot afford a method call per check. Callers
+        must treat both maps as immutable and route every mutation through
+        :meth:`record_write` / :meth:`record_copy`, which keep the
+        validation stamps coherent.
+        """
+        return self._holders, self._latest
+
     def holds_any(self, oid: ObjectId, worker: WorkerId) -> bool:
         return worker in self._holders[oid]
 

@@ -435,9 +435,30 @@ class ReliableEndpoint:
 
     # -- sender side ---------------------------------------------------
     def send_reliable(self, dst, msg: Message) -> None:
-        """Send ``msg`` over the reliable channel to ``dst``."""
+        """Send ``msg`` over the reliable channel to ``dst``.
+
+        Self-sends on a lossless network skip the reliable framing
+        entirely: loopback delivery is FIFO with no link contention, the
+        ack would ride the same loopback (round trip ``2 x
+        loopback_latency``, six orders of magnitude under the RTO), so
+        neither a drop nor a spurious retransmission is possible and the
+        bookkeeping is provably unobservable. ``Network.partition`` flips
+        ``lossless`` off permanently, so this can never race a heal.
+
+        Remote sends always take the fully-tracked path, even on a
+        lossless network. Retransmissions there are *not* loss-driven
+        only: an ack serialized behind a long data transfer can overrun
+        the RTO and trigger a spurious retransmission (TCP under
+        congestion does the same), whose duplicate occupies real link
+        time — modeled behavior that eliding the tracking would erase.
+        """
         if not isinstance(dst, ReliableEndpoint):
             self.send(dst, msg)  # peer speaks only the raw protocol
+            return
+        if (dst is self and self._fused and self._trace is None
+                and self.network is not None and self.network.lossless):
+            # the receiver treats an unframed message as a direct delivery
+            self.send(dst, msg)
             return
         seq = self._rel_send_seq.get(dst.name, 0) + 1
         self._rel_send_seq[dst.name] = seq

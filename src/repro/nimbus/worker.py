@@ -657,8 +657,14 @@ class Worker(P.ReliableEndpoint, Actor):
                 self._expected[cmd.tag] = cid
                 remaining += 1
         cmd._rem = remaining
-        for dep in deps:
-            self._dependents.setdefault(dep, []).append(cid)
+        if deps:
+            dependents = self._dependents
+            for dep in deps:
+                lst = dependents.get(dep)
+                if lst is None:
+                    dependents[dep] = [cid]
+                else:
+                    lst.append(cid)
         if remaining == 0:
             if self._trace is not None:
                 self._trace_release = None  # ready straight from dispatch
@@ -728,6 +734,7 @@ class Worker(P.ReliableEndpoint, Actor):
         zero = sim._zero
         push = heapq.heappush
         tr = self._trace
+        cohorts = self._fused and tr is None
         while free > 0 and ready:
             cmd = ready.popleft()
             free -= 1
@@ -740,8 +747,37 @@ class Worker(P.ReliableEndpoint, Actor):
             if duration is None:
                 duration = fn.duration_of(cmd.params, self.worker_id)
             duration *= scale
-            seq += 1
-            entry = (now + duration, seq, fire, (cmd, fn, duration, epoch))
+            batch = None
+            if cohorts and free > 0 and ready:
+                # cohort entry: consecutive same-duration starts share one
+                # queue entry due at one time. Every member's seq is still
+                # allocated (the entry carries the first), so relative
+                # order against every other queued event is unchanged; the
+                # cohort fire replays each member's own timer semantics.
+                while free > 0 and ready:
+                    nxt = ready[0]
+                    nfn = nxt._cfn
+                    if nfn is None:
+                        nfn = self.registry.get(nxt.function)
+                    ndur = nfn._const_dur
+                    if ndur is None:
+                        ndur = nfn.duration_of(nxt.params, self.worker_id)
+                    if ndur * scale != duration:
+                        break
+                    ready.popleft()
+                    free -= 1
+                    if batch is None:
+                        batch = [(cmd, fn), (nxt, nfn)]
+                    else:
+                        batch.append((nxt, nfn))
+            if batch is None:
+                seq += 1
+                entry = (now + duration, seq, fire,
+                         (cmd, fn, duration, epoch))
+            else:
+                entry = (now + duration, seq + 1, self._tasks_fire_cohort,
+                         (batch, duration, epoch))
+                seq += len(batch)
             if duration > 0.0:
                 push(heap, entry)
             elif duration == 0.0:
@@ -750,6 +786,19 @@ class Worker(P.ReliableEndpoint, Actor):
                 raise ValueError(f"negative task duration {duration!r}")
         sim._seq = seq
         self._free_slots = free
+
+    def _tasks_fire_cohort(self, items, duration: float, epoch: int) -> None:
+        """Fire one cohort entry covering ``len(items)`` task completions.
+
+        Each member replays exactly what its own timer event would have
+        done (:meth:`_task_fire`'s idle-inline vs busy-queue split), and
+        the skipped per-member events are folded into ``events_run`` so
+        cohort and per-task runs report comparable counts.
+        """
+        self.sim._events_run += len(items) - 1
+        fire = self._task_fire
+        for cmd, fn in items:
+            fire(cmd, fn, duration, epoch)
 
     def _task_fire(self, cmd: Command, fn, duration: float,
                    epoch: int) -> None:

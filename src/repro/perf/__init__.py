@@ -17,6 +17,7 @@ from .harness import (  # noqa: F401
     instantiate_allocations,
     rebalance_section,
     serve_section,
+    strong_scaling_section,
     load_bench,
     run_harness,
     run_microbenchmarks,

@@ -21,7 +21,16 @@ wall-clock fast paths keep the loop cheap:
 * :meth:`Simulator.schedule_fast` skips the :class:`Event` wrapper
   entirely for callers that never cancel (timers, drains, deliveries);
 * cancellation is lazy — a cancelled event stays queued and is skipped on
-  pop, with a counter so the no-cancellation common case never scans.
+  pop, with a counter so the no-cancellation common case never scans;
+* :meth:`Simulator.run` drains same-timestamp entries as a *cohort*: one
+  clock write and one deadline check per distinct timestamp instead of per
+  event. Within a cohort every heap entry precedes every zero-queue entry
+  in seq order (heap entries at time T are pushed while the clock is still
+  behind T; zero entries only exist once the clock reaches T), so the
+  cohort drain preserves the exact per-event order of the unbatched loop;
+* :meth:`Simulator.try_advance` lets an executing handler claim the clock
+  up to a future instant when nothing else is due first, which is what
+  allows actors to fuse whole message-drain chains into a single event.
 """
 
 from __future__ import annotations
@@ -86,6 +95,9 @@ class Simulator:
         self._events_run: int = 0
         self._running: bool = False
         self._halted: bool = False
+        #: the active run()'s deadline (None outside run / no deadline);
+        #: try_advance refuses to move the clock past it
+        self._until: Optional[float] = None
         #: lazily-deleted (cancelled but still queued) event count
         self._cancelled: int = 0
 
@@ -151,6 +163,33 @@ class Simulator:
         else:
             heapq.heappush(self._heap, (time, self._seq, fn, args))
 
+    def schedule_fast_many(
+        self, time: float, calls: Iterable[Tuple]
+    ) -> None:
+        """Bulk :meth:`schedule_fast`: never-cancelled callbacks sharing one
+        absolute due ``time``, run in iteration order.
+
+        ``calls`` yields ``(fn, args)`` pairs (args already a tuple). One
+        queue-side branch and one ``self._seq`` write for the whole batch.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time!r} < now={self._now!r}"
+            )
+        seq = self._seq
+        if time == self._now:
+            append = self._zero.append
+            for fn, args in calls:
+                seq += 1
+                append((time, seq, fn, args))
+        else:
+            heap = self._heap
+            push = heapq.heappush
+            for fn, args in calls:
+                seq += 1
+                push(heap, (time, seq, fn, args))
+        self._seq = seq
+
     def schedule_many(
         self, delay: float, calls: Iterable[Tuple]
     ) -> List[Event]:
@@ -186,6 +225,36 @@ class Simulator:
         the simulation and poll for completion after every event.
         """
         self._halted = True
+
+    def try_advance(self, time: float) -> bool:
+        """Advance the clock to ``time`` iff nothing else is due first.
+
+        The fusion primitive: an executing handler that knows its next
+        action is due at ``time`` (e.g. an actor draining its inbox at its
+        ``busy_until`` staircase) may claim the clock directly instead of
+        scheduling a fresh event, **provided** the hop is unobservable —
+        no zero-delay work pending, every heap entry strictly later than
+        ``time`` (an entry *at* ``time`` was scheduled earlier, so its seq
+        is smaller and it must run first), the run not halted, and ``time``
+        within the active run's deadline. Returns whether the clock moved;
+        on refusal the caller must fall back to normal scheduling. The
+        caller accounts the fused hop via ``sim._events_run += 1`` so event
+        counts stay comparable with the unfused path.
+        """
+        if self._halted or not self._running or self._zero:
+            return False
+        if time < self._now:
+            return False
+        until = self._until
+        if until is not None and time > until:
+            return False
+        if self._cancelled:
+            self._purge_cancelled_heads()
+        heap = self._heap
+        if heap and heap[0][0] <= time:
+            return False
+        self._now = time
+        return True
 
     def _purge_cancelled_heads(self) -> None:
         """Drop lazily-deleted events from both queue heads."""
@@ -252,28 +321,105 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._halted = False
+        self._until = until
         budget = max_events
         try:
             if budget is None:
-                # fast path: peek_time + step fused into one loop body so
-                # the dominant no-budget case pays one head inspection and
-                # zero extra calls per event. Cancelled events are skipped
-                # lazily on pop (a cancelled head is the queue minimum, so
-                # skipping it never changes an `until` stop decision —
-                # every live event is due no earlier).
+                # cohort-batched fast path: every entry due at one
+                # timestamp drains as a single cohort — one clock write
+                # and one deadline check per distinct time, not per event.
+                # Heap entries at the cohort time always precede zero-queue
+                # entries in seq order (see module docstring), so heap-then-
+                # zero preserves the exact unbatched order; handlers may
+                # append more zero-delay work mid-cohort (it correctly runs
+                # after, in FIFO order) but can never add heap entries at
+                # the current time (schedule routes those to the zero
+                # queue). Cancelled events are skipped lazily on pop (a
+                # cancelled head is the queue minimum, so skipping it never
+                # changes an `until` stop decision — every live event is
+                # due no earlier).
+                zero, heap = self._zero, self._heap
+                pop = heapq.heappop
+                popleft = zero.popleft
+                ran = 0
+                try:
+                    while True:
+                        if zero:
+                            t = self._now
+                            if until is not None and t > until:
+                                # the pending zero-delay work is due *after*
+                                # the deadline; leave it queued, never
+                                # rewind the clock
+                                return
+                        else:
+                            # purge cancelled heads before reading the head
+                            # time: the clock must not advance to (and the
+                            # run must not stop at) an instant where only
+                            # dead events were due
+                            if self._cancelled and heap:
+                                self._purge_cancelled_heads()
+                            if not heap:
+                                break
+                            t = heap[0][0]
+                            if until is not None and t > until:
+                                if until > self._now:
+                                    self._now = until
+                                return
+                            self._now = t
+                        while heap and heap[0][0] == t:
+                            entry = pop(heap)
+                            if len(entry) == 4:
+                                ran += 1
+                                entry[2](*entry[3])
+                            else:
+                                event = entry[2]
+                                if event.cancelled:
+                                    self._cancelled -= 1
+                                    continue
+                                ran += 1
+                                event.fn(*event.args)
+                            if self._halted:
+                                return
+                        # a handler above may have claimed the clock via
+                        # try_advance (only possible with zero empty and
+                        # no heap entry at or before the new now), so any
+                        # zero entry below is due at the *current* now
+                        while zero:
+                            entry = popleft()
+                            if len(entry) == 4:
+                                ran += 1
+                                entry[2](*entry[3])
+                            else:
+                                event = entry[2]
+                                if event.cancelled:
+                                    self._cancelled -= 1
+                                    continue
+                                ran += 1
+                                event.fn(*event.args)
+                            if self._halted:
+                                return
+                finally:
+                    self._events_run += ran
+            else:
+                # budgeted path: same fused pop-and-skip as above but one
+                # event at a time, charging the budget only for live
+                # events. Cancelled heads are purged once up front (never
+                # twice as the old peek_time()+step() pairing did), so the
+                # deadline/budget decisions below always see a live head.
                 zero, heap = self._zero, self._heap
                 pop = heapq.heappop
                 ran = 0
                 try:
                     while True:
+                        if self._cancelled:
+                            self._purge_cancelled_heads()
                         if zero:
                             now = self._now
                             if until is not None and now > until:
-                                # the pending zero-delay work is due *after*
-                                # the deadline; leave it queued, never
-                                # rewind the clock
                                 return
                             head = heap[0] if heap else None
+                            if budget <= 0:
+                                return
                             if (head is not None and head[0] == now
                                     and head[1] < zero[0][1]):
                                 entry = pop(heap)
@@ -284,41 +430,25 @@ class Simulator:
                                 if until > self._now:
                                     self._now = until
                                 return
+                            if budget <= 0:
+                                return
                             entry = pop(heap)
                         else:
                             break
+                        budget -= 1
+                        self._now = entry[0]
+                        ran += 1
                         if len(entry) == 4:
-                            self._now = entry[0]
-                            ran += 1
                             entry[2](*entry[3])
                         else:
                             event = entry[2]
-                            if event.cancelled:
-                                self._cancelled -= 1
-                                continue
-                            self._now = entry[0]
-                            ran += 1
                             event.fn(*event.args)
                         if self._halted:
                             return
                 finally:
                     self._events_run += ran
-            else:
-                while True:
-                    next_time = self.peek_time()
-                    if next_time is None:
-                        break
-                    if until is not None and next_time > until:
-                        if until > self._now:
-                            self._now = until
-                        return
-                    if budget <= 0:
-                        return
-                    budget -= 1
-                    self.step()
-                    if self._halted:
-                        return
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
+            self._until = None

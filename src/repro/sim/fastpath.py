@@ -1,0 +1,31 @@
+"""Env-flag gates for the fused event-loop fast paths.
+
+The engine/actor/protocol fusion layers (cohort batching, inline drain
+continuation via :meth:`Simulator.try_advance`, trusted-transport sender
+bookkeeping elision, worker task-chain fusion) all change *wall-clock*
+behavior only — virtual results are bit-identical by construction, and the
+fused-off suite in CI proves the unfused path stays a complete drop-in
+implementation.
+
+Escape hatches mirror the compiled-template ones:
+
+* ``REPRO_FUSED_CHAINS=0`` disables every fusion fast path (each run
+  event takes its own trip through the queue, exactly as before);
+* ``REPRO_FUSED_CROSS_CHECK=1`` turns on invariant assertions inside the
+  fused loops (clock monotonicity, inbox-FIFO preservation) so seeded
+  sweeps can cross-check the fused path against the plain one.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def enabled_default() -> bool:
+    """Fusion on unless ``REPRO_FUSED_CHAINS`` disables it."""
+    return os.environ.get("REPRO_FUSED_CHAINS", "1") not in (
+        "", "0", "false", "no")
+
+
+def cross_check_enabled() -> bool:
+    return os.environ.get("REPRO_FUSED_CROSS_CHECK", "") not in ("", "0")

@@ -46,7 +46,16 @@ class Network:
     on_partition_drop:
         Optional ``(src, dst, msg)`` callback invoked for every message
         dropped because either end is partitioned.
+
+    ``lossless`` advertises whether a successful :meth:`transmit` implies
+    guaranteed delivery. True for the plain network until the first
+    :meth:`partition` (and permanently False afterwards — conservative, so
+    the reliable layer's trusted-transport fast path never races a heal);
+    always False for chaos wrappers, which may drop any transmission.
     """
+
+    #: see class docstring; ChaosNetwork overrides to False
+    lossless = True
 
     def __init__(
         self,
@@ -85,6 +94,7 @@ class Network:
         a crashed worker's restart.
         """
         self.partitioned.add(actor_name)
+        self.lossless = False  # sends may now be dropped; stays off for good
         self._clear_reservations(actor_name)
 
     def _clear_reservations(self, actor_name: str) -> None:

@@ -1,0 +1,165 @@
+"""Fused fast-path equivalence: batching and fusion are invisible.
+
+``REPRO_FUSED_CHAINS`` gates three wall-clock-only mechanisms — fused
+actor drain chains (``Actor._drain`` + ``Simulator.try_advance``), the
+trusted-transport send path (no retransmission bookkeeping while the
+network is provably lossless), and worker task-start cohorts. All of them
+must leave every *virtual* observable bit-identical: virtual end time,
+every metrics counter, and the final value of every data object. Event
+counts are the one legitimate difference — the trusted transport elides
+retransmission-timer wakes that genuinely never fire — so these sweeps
+compare everything except ``events_run`` (and assert the fused count
+never exceeds the unfused one).
+
+Mirrors the ``REPRO_COMPILED_CROSS_CHECK`` suite: seeded random-program
+sweeps fused on vs off, under chaos, with the rebalancer on, across
+co-scheduled tenants, and in cross-check mode.
+"""
+
+import pytest
+
+from repro.chaos import PROFILES, FaultPlan
+from repro.nimbus import NimbusCluster
+from repro.sim import fastpath
+
+from .helpers import (
+    combine_registry,
+    random_combine_schedule,
+    run_lr,
+    simple_define,
+    virtual_results,
+    worker_values,
+)
+
+NUM_OBJECTS = 8
+OIDS = list(range(1, NUM_OBJECTS + 1))
+SEEDS = range(10)
+
+
+def _set_fused(monkeypatch, fused):
+    monkeypatch.setenv("REPRO_FUSED_CHAINS", "1" if fused else "0")
+
+
+def _run(seed, chaos_profile=None, num_workers=3):
+    """One random combine program; virtual observables + event count.
+
+    The env flags are read at Actor construction, so the caller must set
+    ``REPRO_FUSED_CHAINS`` before this builds the cluster.
+    """
+    seed_block, params, blocks, iterations = random_combine_schedule(
+        seed, OIDS)
+
+    def program(job):
+        yield job.define(simple_define(
+            {oid: (f"o{oid}", 8) for oid in OIDS}))
+        yield job.run(seed_block, params)
+        for _ in range(iterations):
+            for block in blocks:
+                yield job.run(block)
+
+    kwargs = {}
+    if chaos_profile is not None:
+        kwargs["chaos_plan"] = FaultPlan.from_profile(chaos_profile,
+                                                      seed=seed)
+    cluster = NimbusCluster(num_workers, program,
+                            registry=combine_registry(), **kwargs)
+    cluster.run_until_finished(max_seconds=1e6)
+    virtuals = (
+        cluster.metrics.counters_snapshot(),
+        cluster.sim.now,
+        worker_values(cluster, OIDS),
+    )
+    return virtuals, cluster.sim.events_run
+
+
+def test_fastpath_flags_read_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_FUSED_CHAINS", raising=False)
+    assert fastpath.enabled_default()
+    for off in ("0", "", "false", "no"):
+        monkeypatch.setenv("REPRO_FUSED_CHAINS", off)
+        assert not fastpath.enabled_default()
+    monkeypatch.setenv("REPRO_FUSED_CHAINS", "1")
+    assert fastpath.enabled_default()
+    monkeypatch.delenv("REPRO_FUSED_CROSS_CHECK", raising=False)
+    assert not fastpath.cross_check_enabled()
+    monkeypatch.setenv("REPRO_FUSED_CROSS_CHECK", "1")
+    assert fastpath.cross_check_enabled()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fused_matches_unfused(monkeypatch, seed):
+    _set_fused(monkeypatch, True)
+    fused, fused_events = _run(seed)
+    _set_fused(monkeypatch, False)
+    unfused, unfused_events = _run(seed)
+    assert fused == unfused, f"seed {seed}: virtual results diverged"
+    assert fused_events <= unfused_events, \
+        f"seed {seed}: fusion may only elide events, never add them"
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+@pytest.mark.parametrize("seed", [3, 11])
+def test_fused_matches_unfused_under_chaos(monkeypatch, profile, seed):
+    # chaos networks are never lossless, so this exercises drain fusion
+    # and task cohorts with the trusted transport forced off
+    _set_fused(monkeypatch, True)
+    fused, fused_events = _run(seed, chaos_profile=profile)
+    _set_fused(monkeypatch, False)
+    unfused, unfused_events = _run(seed, chaos_profile=profile)
+    assert fused == unfused, f"seed {seed} profile {profile}"
+    assert fused_events <= unfused_events
+
+
+def _lr_virtuals(cluster):
+    mean_iter, now, _events, counters = virtual_results(
+        cluster, "lr.iteration", skip=4)
+    return mean_iter, now, counters
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_fused_lr_with_rebalancer_on(monkeypatch, seed):
+    scales = {seed % 4: 3.0}
+    _set_fused(monkeypatch, True)
+    fused = _lr_virtuals(run_lr(seed=seed, rebalance=True,
+                                straggler_scales=scales))
+    _set_fused(monkeypatch, False)
+    unfused = _lr_virtuals(run_lr(seed=seed, rebalance=True,
+                                  straggler_scales=scales))
+    assert fused == unfused, f"seed {seed}: rebalancer run diverged"
+
+
+@pytest.mark.parametrize("seed", [1, 7])
+def test_fused_multitenant_pair_identical(monkeypatch, seed):
+    from .test_multitenant import run_pair, small_lr_app
+
+    app = small_lr_app(seed=seed)
+    _set_fused(monkeypatch, True)
+    fused = run_pair(app, seed=seed)
+    _set_fused(monkeypatch, False)
+    unfused = run_pair(app, seed=seed)
+    assert fused == unfused, f"seed {seed}: co-tenant values diverged"
+
+
+def test_cross_check_mode_validates_every_fused_hop(monkeypatch):
+    """REPRO_FUSED_CROSS_CHECK re-derives each fused drain hop's safety
+    from the raw event queues; a clean run means they all agreed."""
+    monkeypatch.setenv("REPRO_FUSED_CROSS_CHECK", "1")
+    _set_fused(monkeypatch, True)
+    checked, _events = _run(7)
+    monkeypatch.delenv("REPRO_FUSED_CROSS_CHECK")
+    _set_fused(monkeypatch, False)
+    unfused, _events = _run(7)
+    assert checked == unfused, "cross-check seed 7"
+
+
+def test_trusted_transport_stays_off_after_partition(monkeypatch):
+    """A partition flips Network.lossless off permanently, so the fused
+    send path can never race a heal."""
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+    net = Network(Simulator())
+    assert net.lossless
+    net.partition("w0")
+    net.heal("w0")
+    assert not net.lossless
