@@ -20,6 +20,7 @@ import os
 import pytest
 
 from repro.perf import (
+    MODE_SCALES,
     SCALES,
     bench_path,
     load_bench,
@@ -180,6 +181,66 @@ def test_strong_scaling_fig07_at_1000_holds_fidelity(report):
         "fig07@1000 no longer completes in reasonable wall time"
 
 
+def _mode_pairs(section):
+    """Yield (workload, workers, centralized row, decentralized row)."""
+    for workload, rows in section.items():
+        by_key = {(r["workers"], r["mode"]): r for r in rows}
+        for n in sorted({r["workers"] for r in rows}):
+            yield (workload, n, by_key[(n, "centralized")],
+                   by_key[(n, "decentralized")])
+
+
+def test_scheduling_modes_hold_parity(report):
+    """Schema v7: at every compared worker count, both scheduling modes
+    compute the exact same results (digest over the per-block history),
+    execute the same tasks, and the decentralized controller sees ≤20%
+    of the centralized steady-state messages per task (the ISSUE gate;
+    measured ~7% at fig07@100)."""
+    section = report["scheduling_modes"]
+    assert section.keys() == {"fig07_lr", "fig08_kmeans"}
+    for workload, n, cent, dec in _mode_pairs(section):
+        where = f"{workload}@{n}"
+        assert dec["results_digest"] == cent["results_digest"], \
+            f"{where}: computed values diverged across modes"
+        assert dec["tasks"] == cent["tasks"], \
+            f"{where}: task counts diverged across modes"
+        assert cent["steady_controller_messages_per_task"] > 0, where
+        ratio = (dec["steady_controller_messages_per_task"]
+                 / cent["steady_controller_messages_per_task"])
+        assert ratio <= 0.20, (
+            f"{where}: decentralized steady controller traffic is "
+            f"{ratio:.1%} of centralized — gate is 20%")
+        assert dec["controller_messages_per_task"] < \
+            cent["controller_messages_per_task"], where
+
+
+def test_scheduling_mode_crossover(report):
+    """Schema v7 acceptance: the decentralized mode beats the
+    centralized controller where the paper's wall stands — at the
+    scale's largest compared count its steady messages per task are ≥5x
+    fewer, its steady iteration time (virtual) is strictly better, and
+    at 1000 workers its wall clock (min over interleaved reps) is
+    strictly better too."""
+    section = report["scheduling_modes"]
+    largest = max(MODE_SCALES[SCALE])
+    for workload, n, cent, dec in _mode_pairs(section):
+        if n != largest:
+            continue
+        where = f"{workload}@{n}"
+        assert dec["steady_controller_messages_per_task"] <= \
+            cent["steady_controller_messages_per_task"] / 5.0, \
+            f"{where}: <5x steady message reduction"
+        if n >= 1000:
+            # below ~1000 workers compute, not the controller, bounds the
+            # iteration — the timing crossover is a large-scale property
+            assert dec["mean_iteration_time"] < \
+                cent["mean_iteration_time"], \
+                f"{where}: decentralized iteration time not better"
+            assert dec["wall_seconds"] < cent["wall_seconds"], (
+                f"{where}: decentralized wall {dec['wall_seconds']}s vs "
+                f"centralized {cent['wall_seconds']}s — no crossover")
+
+
 def test_no_events_per_second_regression_vs_committed(report):
     """Schema v6: the event-loop throughput gate. Event counts are
     deterministic, so events/second regressing while wall stays flat is
@@ -208,7 +269,7 @@ def test_engine_throughput_floor_vs_committed(report):
     committed = load_bench(bench_path(REPO_ROOT))
     if committed is None or SCALE not in committed.get("scales", {}):
         pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
-    if committed.get("schema_version") != 6:
+    if committed.get("schema_version") not in (6, 7):
         # v6 changed the measurement itself (fresh simulator per chunk —
         # the old shared simulator inflated the rate), so pre-v6 numbers
         # are not comparable
@@ -294,13 +355,36 @@ def test_serve_section_gates_multitenant_metrics(report):
     assert all(row["tasks_scheduled"] > 0 for row in run["per_job"])
 
 
+def test_committed_paper_crossover_is_recorded():
+    """The committed BENCH file's paper-scale rows document the
+    crossover even when this run is the CI smoke (small scale): at 1000
+    workers the decentralized mode has strictly better wall clock and
+    ≥5x fewer steady controller messages per task, with bit-identical
+    results digests."""
+    committed = load_bench(bench_path(REPO_ROOT))
+    if (committed is None or committed.get("schema_version") != 7
+            or "paper" not in committed.get("scales", {})):
+        pytest.skip("no committed v7 paper-scale BENCH numbers yet")
+    section = committed["scales"]["paper"]["scheduling_modes"]
+    for workload, n, cent, dec in _mode_pairs(section):
+        assert dec["results_digest"] == cent["results_digest"], \
+            f"{workload}@{n}: committed digests diverge across modes"
+        if n >= 1000:
+            assert dec["wall_seconds"] < cent["wall_seconds"], \
+                f"{workload}@{n}: committed rows show no wall crossover"
+            assert dec["steady_controller_messages_per_task"] <= \
+                cent["steady_controller_messages_per_task"] / 5.0, \
+                f"{workload}@{n}: committed rows show <5x reduction"
+
+
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 6
+    assert doc["schema_version"] == 7
     assert SCALE in doc["scales"]
     assert "strong_scaling" in doc["scales"][SCALE]
+    assert "scheduling_modes" in doc["scales"][SCALE]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
     assert doc["scales"][SCALE]["allocations"].keys() == \

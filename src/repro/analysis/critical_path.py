@@ -161,11 +161,20 @@ def critical_path(tracer) -> CriticalPathReport:
         """Hop from a dispatch-ready command back through its run/request."""
         run = tracer.runs.get(rec.run_seq) if rec.run_seq is not None else None
         if run is None:
+            # controller-bypassed hop: a self-scheduled instance whose run
+            # was never the subject of a controller decision (decentralized
+            # steady state).  There is no dispatch flight to attribute;
+            # whatever remains below the frontier is control bookkeeping.
             attribute("control", 0.0)
             return
-        # controller->worker dispatch flight, then the decision itself
-        attribute("network", run.decide_end)
-        attribute("control", run.decide_start)
+        # controller->worker dispatch flight, then the decision itself.
+        # Either bound may be absent — a decentralized run's decision can
+        # be a zero-width grant entry or missing entirely — so each hop is
+        # claimed only when its timestamp exists.
+        if run.decide_end is not None:
+            attribute("network", run.decide_end)
+        if run.decide_start is not None:
+            attribute("control", run.decide_start)
         walk_request(run.request_id)
 
     def walk_request(request_id: int) -> None:

@@ -59,6 +59,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--system", choices=sorted(SYSTEMS), default="nimbus",
                         help="control plane to run under")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mode", choices=("centralized", "decentralized"),
+                        default="centralized",
+                        help="scheduling mode: 'centralized' is the "
+                             "paper's per-instance control plane; "
+                             "'decentralized' grants windows that workers "
+                             "self-schedule (DESIGN.md §14); nimbus only")
     parser.add_argument("--chaos-profile", choices=sorted(PROFILES),
                         default=None, metavar="PROFILE",
                         help="inject network faults from a stock plan "
@@ -94,6 +100,11 @@ def _cluster_kwargs(args) -> dict:
         kwargs["use_templates"] = False
     if args.system == "nimbus":
         kwargs["patch_cache_cap"] = args.patch_cache_cap
+    if getattr(args, "mode", "centralized") != "centralized":
+        if args.system != "nimbus":
+            raise SystemExit("--mode decentralized requires --system nimbus "
+                             "(the baselines have no self-scheduling path)")
+        kwargs["mode"] = args.mode
     if getattr(args, "chaos_profile", None):
         if args.system != "nimbus":
             raise SystemExit(
@@ -383,20 +394,25 @@ def cmd_profile(args) -> None:
 
     from .perf import timed_workload
 
+    if args.workload not in WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; known workloads: "
+            f"{', '.join(sorted(WORKLOADS))}")
     profiler = cProfile.Profile()
     profiler.enable()
     try:
         row = timed_workload(args.workload, args.workers,
-                             iterations=args.iterations)
+                             iterations=args.iterations, mode=args.mode)
     finally:
         profiler.disable()
     print(f"{args.workload}: {row['workers']} workers, "
-          f"{args.iterations} iterations — wall {row['wall_seconds']:.3f} s, "
+          f"{args.iterations} iterations ({args.mode}) — "
+          f"wall {row['wall_seconds']:.3f} s, "
           f"{row['events']:,} events "
           f"({row['events_per_second']:,} events/s), "
           f"iteration {row['mean_iteration_time'] * 1000:.2f} ms")
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     if args.out:
         profiler.dump_stats(args.out)
         print(f"profile written to {args.out}")
@@ -448,6 +464,7 @@ def cmd_serve(args) -> None:
         max_concurrent=args.max_concurrent,
         queue_cap=args.queue_cap,
         dispatch_inflight_cap=args.dispatch_cap,
+        mode=args.mode,
     )
     print(f"job_arrival: {result['jobs']} jobs over {result['workers']} "
           f"workers (concurrency cap {result['max_concurrent']}, queue cap "
@@ -580,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=6,
                        help="number of scheduled job arrivals")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--mode", choices=("centralized", "decentralized"),
+                       default="centralized",
+                       help="scheduling mode every admitted job runs under")
     serve.add_argument("--mean-interarrival", type=float, default=0.05,
                        metavar="S",
                        help="mean Poisson interarrival gap in virtual "
@@ -609,10 +629,20 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile", help="cProfile one harness workload and print the "
                         "top cumulative functions (perf attribution)")
-    profile.add_argument("--workload", choices=sorted(WORKLOADS),
-                         default="fig07_lr")
+    profile.add_argument("--workload", default="fig07_lr", metavar="NAME",
+                         help="harness workload to profile "
+                              f"({', '.join(sorted(WORKLOADS))})")
     profile.add_argument("--workers", type=int, default=100)
     profile.add_argument("--iterations", type=int, default=14)
+    profile.add_argument("--mode",
+                         choices=("centralized", "decentralized"),
+                         default="centralized",
+                         help="scheduling mode to profile under")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="pstats sort order: 'cumulative' finds the "
+                              "expensive call paths, 'tottime' the "
+                              "expensive functions themselves")
     profile.add_argument("--top", type=int, default=30, metavar="N",
                          help="number of functions to print")
     profile.add_argument("--out", metavar="PATH", default=None,

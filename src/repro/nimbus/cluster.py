@@ -54,7 +54,13 @@ class NimbusCluster:
         dispatch_inflight_cap: Optional[int] = None,
         max_concurrent_jobs: int = 4,
         job_queue_cap: int = 16,
+        mode: str = "centralized",
     ):
+        if mode not in ("centralized", "decentralized"):
+            raise ValueError(
+                f"unknown scheduling mode {mode!r}; "
+                f"choose 'centralized' or 'decentralized'")
+        self.mode = mode
         self.sim = Simulator()
         self.metrics = Metrics()
         # Tracing is pure observation: a traced run's virtual results are
@@ -84,6 +90,7 @@ class NimbusCluster:
             heartbeat_timeout=heartbeat_timeout,
             patch_cache_cap=patch_cache_cap,
             dispatch_inflight_cap=dispatch_inflight_cap,
+            default_mode=mode,
         )
         self.network.attach(self.controller)
 
@@ -106,7 +113,7 @@ class NimbusCluster:
         if program is not None:
             self.driver: Optional[Driver] = Driver(
                 self.sim, self.controller, program, self.metrics,
-                use_templates=use_templates,
+                use_templates=use_templates, mode=mode,
             )
             self.network.attach(self.driver)
             self.controller.driver = self.driver
@@ -153,13 +160,20 @@ class NimbusCluster:
     def submit_job(self, program: Callable[[Job], Iterable],
                    weight: float = 1.0,
                    use_templates: Optional[bool] = None,
-                   max_inflight: int = 4) -> JobRecord:
-        """Admit (or queue) a job under its own namespace; see JobManager."""
+                   max_inflight: int = 4,
+                   mode: Optional[str] = None) -> JobRecord:
+        """Admit (or queue) a job under its own namespace; see JobManager.
+
+        ``mode`` picks the job's scheduling policy (centralized or
+        decentralized), defaulting to the cluster-wide mode — co-scheduled
+        jobs may mix modes freely.
+        """
         if use_templates is None:
             use_templates = self.default_use_templates
         return self.jobs.submit(program, weight=weight,
                                 use_templates=use_templates,
-                                max_inflight=max_inflight)
+                                max_inflight=max_inflight,
+                                mode=mode)
 
     def run_until_jobs_finished(self, max_seconds: float = 1e6) -> None:
         """Run until every submitted (and scheduled) job has finished."""

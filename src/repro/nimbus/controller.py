@@ -46,6 +46,7 @@ from ..core.patching import Patch, PatchCache, build_patch
 from ..core.spec import BlockSpec
 from ..core.validation import ValidationState, full_validate
 from ..core.worker_template import WorkerTemplateSet, generate_worker_templates
+from ..sched.policy import make_policy
 from ..sched.rebalance import LoadTracker
 from ..sim.actor import Actor, Message
 from ..sim.engine import Simulator
@@ -55,6 +56,20 @@ from .costs import CostModel
 from .data import LogicalObject, ObjectDirectory, PartitionPlacement
 from .multijob import FairShareQueue, JobContext
 from . import protocol as P
+
+#: the steady-state control-plane message types — the traffic Fig. 7
+#: measures once templates are installed. Counted separately from total
+#: controller traffic so the centralized-vs-decentralized messages-per-task
+#: comparison is not drowned out by the (mode-independent) one-time ramp-up
+#: of central dispatch and template installation.
+_STEADY_IN = frozenset((
+    P.InstantiateBlock, P.InstantiateWindow,
+    P.InstanceComplete, P.WindowSummary,
+))
+_STEADY_OUT = frozenset((
+    P.InstantiateWorkerTemplate, P.SelfScheduleWindow,
+    P.BlockComplete, P.BlockCompleteBatch, P.EpochUpdate,
+))
 
 
 class _BlockRun:
@@ -129,6 +144,7 @@ class Controller(P.ReliableEndpoint, Actor):
         edit_threshold: float = 0.25,
         patch_cache_cap: int = 256,
         dispatch_inflight_cap: Optional[int] = None,
+        default_mode: str = "centralized",
     ):
         super().__init__(sim, "controller")
         self.costs = costs
@@ -153,6 +169,13 @@ class Controller(P.ReliableEndpoint, Actor):
             patch_cache=PatchCache(capacity=patch_cache_cap,
                                    metrics=metrics))
         self.jobs: Dict[int, JobContext] = {0: self._job0}
+        #: scheduling mode for jobs that don't pick their own (DESIGN.md §14)
+        self.default_mode = default_mode
+        self._job0.policy = make_policy(default_mode, self, self._job0)
+        #: partition-map epoch: bumped on every map change; decentralized
+        #: workers must observe it before crossing a block boundary
+        self.pm_epoch = 0
+        self._next_window = 1
 
         #: optional adaptive rebalancer (sched.Rebalancer), attached by the
         #: cluster when --rebalance is on; None leaves behavior untouched
@@ -226,7 +249,8 @@ class Controller(P.ReliableEndpoint, Actor):
         self._job0.placement = PartitionPlacement(sorted(workers))
 
     def register_job(self, job_id: int, driver, metrics: Metrics,
-                     weight: float = 1.0) -> JobContext:
+                     weight: float = 1.0,
+                     mode: Optional[str] = None) -> JobContext:
         """Create a job's namespace: directory, templates, patch cache.
 
         Placement reuses the cross-job :class:`LoadTracker`: the job's
@@ -246,6 +270,7 @@ class Controller(P.ReliableEndpoint, Actor):
             i = order.index(start)
             order = order[i:] + order[:i]
         ctx.placement = PartitionPlacement(order)
+        ctx.policy = make_policy(mode or self.default_mode, self, ctx)
         self.jobs[job_id] = ctx
         self.metrics.incr("jobs_registered")
         return ctx
@@ -287,6 +312,14 @@ class Controller(P.ReliableEndpoint, Actor):
             self.metrics.incr("jobs.orphan_discards")
         return ctx
 
+    def send_reliable(self, dst, msg) -> None:
+        # logical outbound control messages: retransmissions and channel
+        # acks bypass this chokepoint, so each message counts once
+        self.metrics.incr("controller.messages_out")
+        if type(msg) in _STEADY_OUT:
+            self.metrics.incr("controller.steady_messages_out")
+        super().send_reliable(dst, msg)
+
     def _rel_should_retry(self, dst) -> bool:
         """Stop retransmitting to workers declared failed by recovery.
 
@@ -309,6 +342,11 @@ class Controller(P.ReliableEndpoint, Actor):
     # Message dispatch
     # ------------------------------------------------------------------
     def handle(self, msg: Message) -> None:
+        # logical inbound control messages (retransmit duplicates are
+        # already consumed by the reliable channel; acks never reach here)
+        self.metrics.incr("controller.messages_in")
+        if type(msg) in _STEADY_IN:
+            self.metrics.incr("controller.steady_messages_in")
         if isinstance(msg, P.CommandComplete):
             self._on_command_complete(msg)
         elif isinstance(msg, P.CommandCompleteBatch):
@@ -323,6 +361,14 @@ class Controller(P.ReliableEndpoint, Actor):
             ctx = self._ctx_of(msg)
             if ctx is not None:
                 self._on_instantiate_block(ctx, msg)
+        elif isinstance(msg, P.InstantiateWindow):
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                self._on_instantiate_window(ctx, msg)
+        elif isinstance(msg, P.WindowSummary):
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                ctx.policy.on_window_summary(msg)
         elif isinstance(msg, P.DefineObjects):
             ctx = self._ctx_of(msg)
             if ctx is not None:
@@ -424,6 +470,11 @@ class Controller(P.ReliableEndpoint, Actor):
         base = self._next_cid
         self._next_cid += n
         return base
+
+    def _alloc_window_id(self) -> int:
+        wid = self._next_window
+        self._next_window += 1
+        return wid
 
     def _alloc_patch_id(self) -> int:
         """Patch ids are controller-global: a worker's patch cache is keyed
@@ -596,12 +647,8 @@ class Controller(P.ReliableEndpoint, Actor):
                 msg.request_id)
         if self._gate_dispatch(ctx, item, block.num_tasks):
             return
-        self._run_block_centrally(
-            ctx, block, msg.params,
-            capture=msg.template_start,
-            receive_cost=True,
-            request_id=msg.request_id,
-        )
+        ctx.policy.submit_central(block, msg.params, msg.template_start,
+                                  msg.request_id)
 
     # ------------------------------------------------------------------
     # Admission gate: fair-share dispatch behind a concurrency cap
@@ -633,11 +680,12 @@ class Controller(P.ReliableEndpoint, Actor):
                 continue  # released after queueing
             if item[0] == "submit":
                 _kind, block, params, template_start, request_id = item
-                self._run_block_centrally(
-                    ctx, block, params, capture=template_start,
-                    receive_cost=True, request_id=request_id)
+                ctx.policy.submit_central(block, params, template_start,
+                                          request_id)
+            elif item[0] == "window":
+                ctx.policy.instantiate_window(item[1])
             else:
-                self._process_instantiate(ctx, item[1])
+                ctx.policy.instantiate(item[1])
 
     # ------------------------------------------------------------------
     # Template instantiation path
@@ -649,7 +697,26 @@ class Controller(P.ReliableEndpoint, Actor):
             return
         if self._gate_dispatch(ctx, ("instantiate", msg), msg.num_tasks):
             return
-        self._process_instantiate(ctx, msg)
+        ctx.policy.instantiate(msg)
+
+    def _on_instantiate_window(self, ctx: JobContext,
+                               msg: P.InstantiateWindow) -> None:
+        """A decentralized driver's window of instantiations.
+
+        Windows pass through :meth:`_gate_dispatch` like every other
+        submission: FIFO within a job is part of the contract, and a
+        window that skipped the queue would overtake the job's own gated
+        capture ``SubmitBlock`` and instantiate a template that does not
+        exist yet (seen with a wait-queued decentralized job admitted
+        into a busy serve cluster). The window's queue cost is its total
+        task count, so fair-share weighting sees it exactly as it would
+        the per-instance messages it replaces.
+        """
+        self.charge(self.costs.message_handling)
+        total = msg.num_tasks * max(1, len(msg.entries))
+        if self._gate_dispatch(ctx, ("window", msg), total):
+            return
+        ctx.policy.instantiate_window(msg)
 
     def _process_instantiate(self, ctx: JobContext,
                              msg: P.InstantiateBlock) -> None:
@@ -855,6 +922,44 @@ class Controller(P.ReliableEndpoint, Actor):
         ctx.metrics.incr("patch_copies", patch.num_copies())
 
     # ------------------------------------------------------------------
+    # Partition-map epochs (decentralized mode, DESIGN.md §14)
+    # ------------------------------------------------------------------
+    def _decentralized_active(self) -> bool:
+        return any(ctx.policy is not None
+                   and ctx.policy.mode == "decentralized"
+                   for ctx in self.jobs.values())
+
+    def bump_partition_epoch(self) -> None:
+        """Advance the partition-map epoch after a map change.
+
+        Broadcast only while a decentralized job is registered: a worker
+        holding a self-schedule grant under an older epoch stalls at its
+        next block boundary and waits for a re-grant. Centralized-only
+        clusters see zero extra traffic (the counter bump is free).
+        """
+        self.pm_epoch += 1
+        if self._decentralized_active():
+            for worker in sorted(self.live_workers):
+                self.send_reliable(self.workers[worker],
+                                   P.EpochUpdate(self.pm_epoch))
+
+    def _require_quiesced(self, ctx: Optional[JobContext] = None) -> None:
+        """Partition-map changes need quiesced jobs (no grants in flight).
+
+        Decentralized workers schedule from granted state the controller
+        cannot retract mid-window; the window boundary (every
+        ``Driver.window_size`` iterations) is the next safe point.
+        """
+        targets = [ctx] if ctx is not None else list(self.jobs.values())
+        for j in targets:
+            if j.policy is not None and j.policy.outstanding_grants():
+                raise RuntimeError(
+                    f"job {j.job_id} has a self-schedule window in "
+                    f"flight; partition-map changes require a quiesced "
+                    f"job — wait for the window boundary (the rebalancer "
+                    f"does this automatically)")
+
+    # ------------------------------------------------------------------
     # Dynamic scheduling: edits, eviction, restore (§2.3, Fig. 9/10)
     # ------------------------------------------------------------------
     def migrate_tasks(self, block_id: str, moves: List[Tuple[int, int]],
@@ -880,6 +985,7 @@ class Controller(P.ReliableEndpoint, Actor):
                 f"no controller template captured yet (captured blocks: "
                 f"{sorted(ctx.templates)})"
             )
+        self._require_quiesced(ctx)
         version = ctx.current_version.get(block_id, 0)
         wts = ctx.worker_templates.get((block_id, version))
         if wts is None or ctx.phase.get(block_id, 0) < self.PHASE_WT_GENERATED:
@@ -890,6 +996,7 @@ class Controller(P.ReliableEndpoint, Actor):
                     e.worker for e in template.entries
                 ]
             ctx.metrics.incr("migrations_reassigned")
+            self.bump_partition_epoch()
             return "reassign"
         if len(moves) <= self.edit_threshold * template.num_tasks:
             edits, total_ops, relocations = plan_migrations(
@@ -920,10 +1027,12 @@ class Controller(P.ReliableEndpoint, Actor):
             for oid, dst in relocations:
                 ctx.placement.migrate(oid, dst)
             ctx.metrics.incr("edits_applied", total_ops)
+            self.bump_partition_epoch()
             return "edits"
         for ct_index, dst in moves:
             template.reassign(ct_index, dst)
         self._regenerate_worker_templates(ctx, block_id)
+        self.bump_partition_epoch()
         return "reinstall"
 
     def _drop_pending_edits(self, ctx: JobContext, block_id: str) -> None:
@@ -983,6 +1092,7 @@ class Controller(P.ReliableEndpoint, Actor):
         Every registered job is drained — eviction is a cluster event, not
         a job event.
         """
+        self._require_quiesced()
         evicted_set = set(evicted)
         survivors = sorted(self.live_workers - evicted_set)
         if not survivors:
@@ -1027,6 +1137,7 @@ class Controller(P.ReliableEndpoint, Actor):
                 if changed and ctx.phase.get(block_id, 0) >= self.PHASE_CT_READY:
                     self._regenerate_worker_templates(ctx, block_id)
             ctx.validation_state.invalidate()
+        self.bump_partition_epoch()
 
     def restore_workers(self, restored: List[int],
                         placement_snapshot: Dict[int, int],
@@ -1039,6 +1150,7 @@ class Controller(P.ReliableEndpoint, Actor):
         workers rejoin the shared live set for every job.
         """
         ctx = self._job0
+        self._require_quiesced()
         self.live_workers |= set(restored)
         for oid, home in placement_snapshot.items():
             ctx.placement.migrate(oid, home)
@@ -1064,6 +1176,7 @@ class Controller(P.ReliableEndpoint, Actor):
                 # staircase so the next instantiation generates them fresh
                 ctx.phase[block_id] = self.PHASE_CT_READY
         ctx.validation_state.invalidate()
+        self.bump_partition_epoch()
 
     def snapshot_placement(self) -> Dict[int, int]:
         ctx = self._job0
@@ -1198,7 +1311,12 @@ class Controller(P.ReliableEndpoint, Actor):
         self.send_reliable(ctx.driver, P.BlockComplete(
             run.block_id, run.seq, dict(run.results), run.request_id))
         if (self.rebalancer is not None and run.mode == "template"
-                and not self._recovering and not self._checkpointing):
+                and not self._recovering and not self._checkpointing
+                and not (ctx.policy is not None
+                         and ctx.policy.outstanding_grants())):
+            # a mixed window's fallback runs must not move the partition
+            # map while the same job's grant is in flight; the policy
+            # rebalances at the window boundary instead
             self.rebalancer.maybe_rebalance(ctx, run.block_id)
         if ctx is self._job0:
             self._blocks_since_checkpoint += 1
@@ -1263,6 +1381,9 @@ class Controller(P.ReliableEndpoint, Actor):
         # job's worker-side queues, so all runs are dropped (recovery is a
         # cluster-wide stop-the-world; serve mode does not enable it)
         self.runs.clear()
+        for ctx in self.jobs.values():
+            if ctx.policy is not None:
+                ctx.policy.reset()  # the halt wipes worker-side grants too
         self._halt_acks = set()
         for worker in self.live_workers:
             self.send_reliable(self.workers[worker], P.Halt())

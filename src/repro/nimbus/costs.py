@@ -80,6 +80,17 @@ class CostModel:
     #: Worker cost to apply one edit to a cached template.
     worker_edit_per_task: float = 9e-6
 
+    # -- decentralized self-scheduling (DESIGN.md §14) -----------------------
+    #: Controller cost to extend a self-schedule grant by one task: id
+    #: allocation and parameter-slot capture, without the per-instance
+    #: validation pass (the window validates once). Matches the
+    #: controller-template fill rate of Table 2.
+    self_schedule_grant_per_task: float = 0.2e-6
+    #: Worker control-thread cost to self-advance to the next template
+    #: instance of a grant (the local scheduling decision that replaces a
+    #: controller round-trip).
+    worker_self_schedule_per_instance: float = 2e-6
+
     # -- controller-side misc ------------------------------------------------
     #: Controller cost to process one per-task completion ack (central mode).
     controller_completion_per_task: float = 2e-6

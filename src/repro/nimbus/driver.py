@@ -101,6 +101,12 @@ class Job:
 class Driver(P.ReliableEndpoint, Actor):
     """Driver actor: advances the program generator on completions."""
 
+    #: decentralized mode: successive instantiations of one installed
+    #: block coalesce into windows of this many iterations (DESIGN.md §14).
+    #: Larger windows amortize more controller work but coarsen the
+    #: rebalancer/migration quiesce points to one per window.
+    window_size = 32
+
     def __init__(
         self,
         sim: Simulator,
@@ -111,6 +117,7 @@ class Driver(P.ReliableEndpoint, Actor):
         max_inflight: int = 4,
         name: str = "driver",
         job_id: int = 0,
+        mode: str = "centralized",
     ):
         super().__init__(sim, name)
         self._init_reliable(metrics)
@@ -118,6 +125,9 @@ class Driver(P.ReliableEndpoint, Actor):
         self.program = program
         self.metrics = metrics
         self.use_templates = use_templates
+        #: scheduling mode: "decentralized" windows installed-block
+        #: instantiations for worker self-scheduling
+        self.mode = mode
         #: controller-side namespace this driver submits into. Reliable
         #: channels are keyed by actor name, so concurrent drivers must
         #: also carry unique names (the JobManager uses "driver-<id>").
@@ -144,6 +154,9 @@ class Driver(P.ReliableEndpoint, Actor):
         self._submit_times: Dict[int, float] = {}
         self._block_results: Dict[int, Dict[str, Any]] = {}
         self._backlog = []  # (request_id, block, params) awaiting a slot
+        #: decentralized mode: buffered (request_id, block, params) of one
+        #: block awaiting window flush (all entries share a block_id)
+        self._window_buffer: List[Tuple[int, BlockSpec, Dict[str, Any]]] = []
 
         # recovery replay state
         self._replay: List[Tuple[str, Dict[str, Any]]] = []
@@ -167,7 +180,10 @@ class Driver(P.ReliableEndpoint, Actor):
                 self._wait = None
                 self._advance(None)
         elif isinstance(msg, P.BlockComplete):
-            self._on_block_complete(msg)
+            self._complete_one(msg.request_id, msg.results)
+        elif isinstance(msg, P.BlockCompleteBatch):
+            for _block_id, _seq, results, request_id, finished_at in msg.items:
+                self._complete_one(request_id, results, finished_at)
         elif isinstance(msg, P.JobRestored):
             self._on_restored(msg)
         else:
@@ -181,6 +197,7 @@ class Driver(P.ReliableEndpoint, Actor):
             try:
                 directive = self._gen.send(value)
             except StopIteration:
+                self._flush_window()  # posted-but-buffered work still runs
                 self.job.finished = True
                 self.job.finish_time = self.sim.now
                 if self._trace is not None:
@@ -195,6 +212,7 @@ class Driver(P.ReliableEndpoint, Actor):
             if kind == "define":
                 if self._replaying:
                     continue  # objects already exist after recovery
+                self._flush_window()  # keep submission order on the wire
                 self.send_reliable(self.controller, P.DefineObjects(
                     directive[1], job_id=self.job_id))
                 self._wait = ("define",)
@@ -202,6 +220,7 @@ class Driver(P.ReliableEndpoint, Actor):
             if kind == "undefine":
                 if self._replaying:
                     continue
+                self._flush_window()
                 self.send_reliable(self.controller, P.UndefineObjects(
                     directive[1], job_id=self.job_id))
                 self._wait = ("define",)  # same ack message
@@ -213,10 +232,14 @@ class Driver(P.ReliableEndpoint, Actor):
                     continue
                 request_id = self._submit(block, params)
                 self._wait = ("request", request_id)
+                # a blocking run can't grow its window further: flush the
+                # (possibly single-entry) buffer now
+                self._flush_window()
                 return
             if kind == "drain":
                 if self._replaying:
                     continue
+                self._flush_window()
                 if self._outstanding == 0:
                     continue
                 self._wait = ("drain",)
@@ -250,11 +273,68 @@ class Driver(P.ReliableEndpoint, Actor):
         request_id = self._next_request
         self._next_request += 1
         self._outstanding += 1
+        if self._windowable(block):
+            buf = self._window_buffer
+            if buf and buf[0][1].block_id != block.block_id:
+                self._flush_window()
+            self._window_buffer.append((request_id, block, params))
+            if len(self._window_buffer) >= self.window_size:
+                self._flush_window()
+            return request_id
+        self._flush_window()  # never let a window overtake this submission
         if self._outstanding > self.max_inflight:
             self._backlog.append((request_id, block, params))
         else:
             self._dispatch_request(request_id, block, params)
         return request_id
+
+    def _windowable(self, block: BlockSpec) -> bool:
+        """Can this submission join a self-schedule window?
+
+        Only installed blocks under templates in decentralized mode: the
+        pre-install staircase and the central path stay byte-identical to
+        centralized mode. Windowed submissions bypass the ``max_inflight``
+        backlog — the controller's policy serializes whole windows instead
+        (one grant in flight per job) — but still count as outstanding so
+        ``drain`` keeps its barrier semantics.
+        """
+        return (self.mode == "decentralized" and self.use_templates
+                and block.block_id in self._installed)
+
+    def _flush_window(self) -> None:
+        """Ship the buffered window as one ``InstantiateWindow``.
+
+        Per-request bookkeeping (submit times, driver_block intervals,
+        trace causality) happens at flush — the instant the requests
+        actually reach the wire. A single-entry buffer degenerates to a
+        plain ``InstantiateBlock``: blocking programs in decentralized
+        mode take exactly the centralized instantiation path.
+        """
+        buf = self._window_buffer
+        if not buf:
+            return
+        self._window_buffer = []
+        block = buf[0][1]
+        entries = []
+        for request_id, _block, params in buf:
+            self._submit_times[request_id] = self.sim.now
+            self.metrics.begin("driver_block", self.sim.now, key=request_id,
+                               block_id=block.block_id,
+                               request_id=request_id)
+            if self._trace is not None:
+                self._trace.block_submit(request_id, block.block_id,
+                                         self._trace_cause)
+            base = self._next_task_id
+            self._next_task_id += block.num_tasks
+            entries.append((request_id, base, params))
+        if len(entries) == 1:
+            request_id, base, params = entries[0]
+            self.send_reliable(self.controller, P.InstantiateBlock(
+                block.block_id, block.num_tasks, base, params, request_id,
+                job_id=self.job_id))
+            return
+        self.send_reliable(self.controller, P.InstantiateWindow(
+            block.block_id, block.num_tasks, entries, job_id=self.job_id))
 
     def _dispatch_request(self, request_id: int, block: BlockSpec,
                           params: Dict[str, Any]) -> None:
@@ -281,27 +361,31 @@ class Driver(P.ReliableEndpoint, Actor):
     # ------------------------------------------------------------------
     # Completions
     # ------------------------------------------------------------------
-    def _on_block_complete(self, msg: P.BlockComplete) -> None:
+    def _complete_one(self, request_id: int, results: Dict[str, Any],
+                      finished_at: float = None) -> None:
         self._outstanding -= 1
         if self._trace is not None:
-            self._trace.block_complete(msg.request_id)
-            self._trace_cause = msg.request_id
+            self._trace.block_complete(request_id)
+            self._trace_cause = request_id
         if self._backlog and self._outstanding - len(self._backlog) < self.max_inflight:
-            request_id, block, params = self._backlog.pop(0)
-            self._dispatch_request(request_id, block, params)
-        submit_time = self._submit_times.pop(msg.request_id, None)
+            backlogged_id, block, params = self._backlog.pop(0)
+            self._dispatch_request(backlogged_id, block, params)
+        submit_time = self._submit_times.pop(request_id, None)
         if submit_time is not None:
-            self.iteration_log.append(
-                (msg.request_id, submit_time, self.sim.now))
-            self.metrics.end("driver_block", self.sim.now,
-                             key=msg.request_id, results=msg.results)
-        self._block_results[msg.request_id] = msg.results
+            # a windowed batch reports each run's true completion time;
+            # without it every iteration in the window would appear to end
+            # at the batch's arrival instant
+            end = finished_at if finished_at is not None else self.sim.now
+            self.iteration_log.append((request_id, submit_time, end))
+            self.metrics.end("driver_block", end,
+                             key=request_id, results=results)
+        self._block_results[request_id] = results
         if self._wait is None:
             self._trace_cause = None
             return
-        if self._wait == ("request", msg.request_id):
+        if self._wait == ("request", request_id):
             self._wait = None
-            self._advance(msg.results)
+            self._advance(results)
         elif self._wait == ("drain",) and self._outstanding == 0:
             self._wait = None
             self._advance(None)
@@ -318,6 +402,7 @@ class Driver(P.ReliableEndpoint, Actor):
         self._submit_times.clear()
         self._outstanding = 0
         self._backlog.clear()
+        self._window_buffer.clear()
         self._wait = None
         self._replay = list(msg.results_history)
         self._replay_cursor = 0

@@ -60,7 +60,7 @@ class JobContext:
         "templates", "phase", "worker_templates", "current_version",
         "assignments", "validation_state", "patch_cache", "prev_block_key",
         "pending_edits", "divergent_wts", "holder_cids", "seen_requests",
-        "results_history", "object_sizes_cache", "_block_cache",
+        "results_history", "object_sizes_cache", "_block_cache", "policy",
     )
 
     def __init__(self, job_id: int, driver=None, metrics=None,
@@ -85,6 +85,8 @@ class JobContext:
         self.seen_requests: Set[int] = set()
         self.results_history: List[Tuple[str, Dict[str, Any]]] = []
         self.object_sizes_cache: Optional[Dict[int, int]] = None
+        #: scheduling policy (set by Controller.register_job)
+        self.policy = None
         # translated-block cache: keeps the original alive so the id key
         # can never be recycled under us
         self._block_cache: Dict[int, Tuple[BlockSpec, BlockSpec]] = {}
@@ -208,17 +210,18 @@ class JobRecord:
     """One submitted job's lifecycle, visible to tests and benchmarks."""
 
     __slots__ = ("job_id", "program", "weight", "use_templates",
-                 "max_inflight", "state", "submit_time", "start_time",
-                 "finish_time", "driver", "metrics")
+                 "max_inflight", "mode", "state", "submit_time",
+                 "start_time", "finish_time", "driver", "metrics")
 
     def __init__(self, job_id: int, program, weight: float,
                  use_templates: bool, max_inflight: int,
-                 submit_time: float):
+                 submit_time: float, mode: str = "centralized"):
         self.job_id = job_id
         self.program = program
         self.weight = weight
         self.use_templates = use_templates
         self.max_inflight = max_inflight
+        self.mode = mode
         self.state = "queued"  # queued|running|finished|cancelled
         self.submit_time = submit_time
         self.start_time: Optional[float] = None
@@ -266,7 +269,8 @@ class JobManager:
     # -- submission ------------------------------------------------------
     def submit(self, program, weight: float = 1.0,
                use_templates: bool = True,
-               max_inflight: int = 4) -> JobRecord:
+               max_inflight: int = 4,
+               mode: Optional[str] = None) -> JobRecord:
         sim = self.cluster.sim
         if (len(self.running()) >= self.max_concurrent
                 and len(self._pending) >= self.queue_cap):
@@ -279,7 +283,8 @@ class JobManager:
             self.cluster.metrics.incr("jobs_rejected")
             raise JobRejected(message)
         record = JobRecord(self._next_job_id, program, weight,
-                           use_templates, max_inflight, sim.now)
+                           use_templates, max_inflight, sim.now,
+                           mode=mode or self.cluster.mode)
         self._next_job_id += 1
         self.records[record.job_id] = record
         if len(self.running()) < self.max_concurrent:
@@ -314,12 +319,14 @@ class JobManager:
             use_templates=record.use_templates,
             max_inflight=record.max_inflight,
             name=f"driver-{record.job_id}", job_id=record.job_id,
+            mode=record.mode,
         )
         cluster.network.attach(driver)
         if cluster.tracer is not None:
             driver._trace = cluster.tracer
         cluster.controller.register_job(
-            record.job_id, driver, metrics, weight=record.weight)
+            record.job_id, driver, metrics, weight=record.weight,
+            mode=record.mode)
         record.driver = driver
         record.metrics = metrics
         record.state = "running"

@@ -76,6 +76,28 @@ class InstantiateBlock(Message):
         self.size_bytes = TASK_ID_BYTES * num_tasks + PARAM_BLOCK_BYTES
 
 
+class InstantiateWindow(Message):
+    """A batch of successive instantiations of one installed block.
+
+    Decentralized mode (DESIGN.md §14): the driver submits a *window* of
+    iterations in one message instead of one ``InstantiateBlock`` per
+    iteration. Each entry carries the same payload an ``InstantiateBlock``
+    would — request id, task-id base, parameter block — so the wire size
+    is honest: the savings are in message count, not bytes.
+    """
+
+    def __init__(self, block_id: str, num_tasks: int,
+                 entries: List[Tuple[int, int, Dict[str, Any]]],
+                 job_id: int = 0):
+        # entries: (request_id, task_id_base, params)
+        self.block_id = block_id
+        self.num_tasks = num_tasks
+        self.entries = entries
+        self.job_id = job_id
+        self.size_bytes = ((TASK_ID_BYTES * num_tasks + PARAM_BLOCK_BYTES)
+                           * len(entries))
+
+
 # ---------------------------------------------------------------------------
 # controller → driver
 # ---------------------------------------------------------------------------
@@ -93,6 +115,24 @@ class BlockComplete(Message):
         self.results = results
         self.request_id = request_id
         self.size_bytes = 64 + 32 * len(results)
+
+
+class BlockCompleteBatch(Message):
+    """All block instances of a self-schedule window finished.
+
+    Decentralized mode: one message closes the whole window; each item is
+    what a ``BlockComplete`` would have carried.
+    """
+
+    def __init__(self,
+                 items: List[Tuple[str, int, Dict[str, Any], int, float]]):
+        # items: (block_id, seq, results, request_id, finished_at) in seq
+        # order; finished_at is the last worker's local completion time,
+        # so driver-side iteration statistics keep per-run resolution even
+        # though the batch lands as one message
+        self.items = items
+        self.size_bytes = sum(64 + 32 * len(results)
+                              for _b, _s, results, _r, _f in items)
 
 
 class JobRestored(Message):
@@ -215,6 +255,52 @@ class InstantiateWorkerTemplate(Message):
         self.size_bytes = TASK_ID_BYTES * num + PARAM_BLOCK_BYTES
 
 
+class SelfScheduleWindow(Message):
+    """Grant a worker a window of template instances to self-schedule.
+
+    Decentralized mode (DESIGN.md §14): the controller validates the
+    window once, allocates every instance's ids up front, and hands the
+    worker the full schedule. The worker then advances instance to
+    instance locally — no per-instance controller round-trip — but must
+    observe the partition-map ``epoch`` before crossing each block
+    boundary. Wire size equals the sum of the per-instance
+    ``InstantiateWorkerTemplate`` messages it replaces (set by the
+    controller, which knows the entry count).
+    """
+
+    def __init__(
+        self,
+        window_id: int,
+        block_id: str,
+        version: int,
+        epoch: int,
+        instances,
+        job_id: int = 0,
+        edits=None,
+    ):
+        # instances: [(instance_id, cid_base, block_seq, params)]
+        self.window_id = window_id
+        self.block_id = block_id
+        self.version = version
+        self.epoch = epoch
+        self.instances = instances
+        self.job_id = job_id
+        self.edits = edits or []
+        self.size_bytes = PARAM_BLOCK_BYTES * max(1, len(instances))
+
+
+class EpochUpdate(Message):
+    """Broadcast a new partition-map epoch (decentralized mode).
+
+    Any outstanding grant issued under an older epoch stalls at its next
+    block boundary until the controller re-grants the remainder.
+    """
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.size_bytes = 16
+
+
 class InstallPatch(Message):
     """Send a patch's full command list and cache it under ``patch_id`` (§4.2)."""
 
@@ -325,6 +411,32 @@ class InstanceComplete(Message):
         self.version = version  # worker-template version this instance ran
         self.task_times = task_times  # local entry index -> duration
         self.size_bytes = 64 + 32 * len(values)
+
+
+class WindowSummary(Message):
+    """Coarse per-window progress report (decentralized mode).
+
+    One message replaces the per-instance ``InstanceComplete`` stream for
+    a whole self-schedule window. ``rows`` carry the same per-instance
+    facts (and bytes) the individual completions would have; ``stalled``
+    marks a window interrupted by a partition-map epoch change, in which
+    case ``next_index`` tells the controller where to re-grant from.
+    """
+
+    def __init__(self, worker_id: int, window_id: int, rows,
+                 job_id: int = 0, stalled: bool = False, next_index: int = 0):
+        # rows: [(instance_id, block_seq, compute_time, values, task_times,
+        #         finished_at)] — finished_at is the worker-local completion
+        # time, so block-end statistics stay honest even though the
+        # controller only folds them at the window boundary
+        self.worker_id = worker_id
+        self.window_id = window_id
+        self.rows = rows
+        self.job_id = job_id
+        self.stalled = stalled
+        self.next_index = next_index
+        self.size_bytes = 64 + sum(32 * len(values)
+                                   for _i, _s, _c, values, _t, _f in rows)
 
 
 class Heartbeat(Message):
@@ -467,7 +579,15 @@ class ReliableEndpoint:
         if self._trace is not None:
             self._trace.flow_send(self.name, dst.name, seq,
                                   type(msg).__name__)
-        deadline = self.sim._now + RELIABLE_RTO
+        # The RTO clock starts at *transmission*, not at this call: a
+        # message sent from inside a long handler does not depart until
+        # the handler's charged time has elapsed (see ``Actor.send``), and
+        # a real transport never times out bytes still sitting in its own
+        # egress buffer. Arming from the call time instead made every
+        # message queued behind a multi-second handler retransmit
+        # spuriously, up to the retry cap.
+        depart = max(self.sim._now, self._handler_start + self._charged)
+        deadline = depart + RELIABLE_RTO
         self._rel_unacked[(dst.name, seq)] = [
             dst, msg, 0, deadline, RELIABLE_RTO,
         ]

@@ -63,10 +63,11 @@ class _InstanceRecord:
 
     __slots__ = ("block_id", "instance_id", "block_seq", "remaining",
                  "compute_time", "values", "report_cids", "version",
-                 "cid_base", "task_times")
+                 "cid_base", "task_times", "grant")
 
     def __init__(self, block_id, instance_id, block_seq, remaining,
-                 report_cids, version=0, cid_base=0, task_times=None):
+                 report_cids, version=0, cid_base=0, task_times=None,
+                 grant=None):
         self.block_id = block_id
         self.instance_id = instance_id
         self.block_seq = block_seq
@@ -77,10 +78,44 @@ class _InstanceRecord:
         self.version = version
         self.cid_base = cid_base
         self.task_times: Optional[Dict[int, float]] = task_times
+        #: owning self-schedule grant (decentralized mode), else None:
+        #: completion folds into a WindowSummary row instead of an
+        #: InstanceComplete message
+        self.grant: Optional[_WorkerGrant] = grant
+
+
+class _WorkerGrant:
+    """Worker-side state of one self-schedule window (DESIGN.md §14).
+
+    The worker consumes ``instances`` front to back, keeping at most
+    ``Worker.self_schedule_depth`` in flight; ``rows`` accumulate one
+    completion row per finished instance for the final WindowSummary.
+    """
+
+    __slots__ = ("key", "block_id", "version", "half", "instances", "next",
+                 "active", "rows", "epoch", "stalled")
+
+    def __init__(self, key, block_id, version, half, instances, epoch):
+        self.key = key  # (job_id, window_id)
+        self.block_id = block_id
+        self.version = version
+        self.half = half
+        self.instances = instances  # [(instance_id, cid_base, seq, params)]
+        self.next = 0  # instances consumed (started or seen-skipped)
+        self.active = 0  # instances in flight locally
+        self.rows: List[Tuple] = []
+        self.epoch = epoch  # partition-map epoch the grant was issued under
+        self.stalled = False
 
 
 class Worker(P.ReliableEndpoint, Actor):
     """A Nimbus worker node.
+
+    In decentralized mode (DESIGN.md §14) workers additionally
+    self-schedule: a :class:`~repro.nimbus.protocol.SelfScheduleWindow`
+    grants a window of template instances, and the worker advances from
+    instance to instance locally — checking the partition-map epoch at
+    every block boundary — reporting one summary when the window drains.
 
     Workers speak the reliable channel protocol for all control traffic
     and direct data exchange, and keep idempotent-receive guards at the
@@ -160,6 +195,16 @@ class Worker(P.ReliableEndpoint, Actor):
         #: instantiations redelivered across a recovery stay discarded
         self._seen_instances: set = set()
 
+        #: self-schedule grants in flight, keyed (job_id, window_id)
+        self._grants: Dict[Tuple[int, int], _WorkerGrant] = {}
+        #: last partition-map epoch observed (EpochUpdate broadcasts);
+        #: distinct from ``_epoch``, the local halt generation below
+        self._pm_epoch = 0
+        #: causality hint for commands released by a grant self-advance:
+        #: ("cmd", cid) of the completing command while the next instance
+        #: instantiates, None otherwise (traced runs only)
+        self._advance_release = None
+
         # central-path completion coalescing: completions buffer here and
         # flush as one message after a short window. Tasks sharing a
         # worker's slots finish in microsecond-spaced bursts, so a small
@@ -168,6 +213,17 @@ class Worker(P.ReliableEndpoint, Actor):
         self._completion_buffer: List[Tuple[int, int, float, Any, Optional[int]]] = []
         self._completion_flush_pending = False
         self.completion_flush_window = 1e-3
+
+        #: decentralized mode: template instances a self-schedule grant
+        #: keeps in flight at once. Instances of one block RMW the same
+        #: partitions, so conflict tracking serializes them anyway —
+        #: measured: depths 1/2/4 produce identical virtual timelines on
+        #: fig07@400 while depth 4 costs ~60% more host wall, because
+        #: every instantiated-but-blocked instance inflates the pending
+        #: dependency graph that each later ext check and completion
+        #: cascade must walk. Instantiation itself is one 2 µs charge, so
+        #: eager depth buys no pipelining the tracker would permit.
+        self.self_schedule_depth = 1
 
         #: job ids the controller has released (cancel/crash); in-flight
         #: commands of these jobs drain without executing their bodies
@@ -200,6 +256,10 @@ class Worker(P.ReliableEndpoint, Actor):
             self._on_dispatch_batch(msg)
         elif isinstance(msg, P.InstantiateWorkerTemplate):
             self._on_instantiate_template(msg)
+        elif isinstance(msg, P.SelfScheduleWindow):
+            self._on_self_schedule(msg)
+        elif isinstance(msg, P.EpochUpdate):
+            self._pm_epoch = msg.epoch
         elif isinstance(msg, P.InstallWorkerTemplate):
             self._on_install_template(msg)
         elif isinstance(msg, P.InstallPatch):
@@ -288,24 +348,40 @@ class Worker(P.ReliableEndpoint, Actor):
         if msg.edits:
             half.apply_edit_ops(msg.edits)
             self.charge(self.costs.worker_edit_per_task * len(msg.edits))
+        self._start_instance(half, msg.block_id, msg.version, msg.instance_id,
+                             msg.cid_base, msg.block_seq, msg.params, key)
+
+    def _start_instance(self, half: WorkerHalf, block_id, version,
+                        instance_id, cid_base, block_seq, params, key,
+                        grant: Optional[_WorkerGrant] = None) -> None:
+        """Instantiate one template instance from an installed half.
+
+        Shared by the centralized path (one InstantiateWorkerTemplate per
+        instance) and the decentralized path (the worker advances through
+        a self-schedule window); the command stream is identical either
+        way — only ``grant`` routing of the completion differs.
+        """
         if self._use_compiled:
-            self._instantiate_compiled(half, msg, key)
+            self._instantiate_compiled(half, block_id, version, instance_id,
+                                       cid_base, block_seq, params, key,
+                                       grant=grant)
             return
         commands = half.instantiate(
-            self.worker_id, msg.instance_id, msg.cid_base, msg.params,
+            self.worker_id, instance_id, cid_base, params,
         )
         self.charge(
             self.costs.worker_instantiate_per_command * len(commands)
         )
         report_cids = {
-            msg.cid_base + idx for idx in half.reports
+            cid_base + idx for idx in half.reports
             if half.entries[idx] is not None
         }
         record = _InstanceRecord(
-            msg.block_id, msg.instance_id, msg.block_seq,
+            block_id, instance_id, block_seq,
             remaining=len(commands), report_cids=report_cids,
-            version=msg.version, cid_base=msg.cid_base,
+            version=version, cid_base=cid_base,
             task_times={} if self.report_task_times else None,
+            grant=grant,
         )
         self._instances[key] = record
         meta_key = ("instance", key)
@@ -315,8 +391,9 @@ class Worker(P.ReliableEndpoint, Actor):
         if not commands:
             self._finish_instance(record)
 
-    def _instantiate_compiled(self, half: WorkerHalf,
-                              msg: P.InstantiateWorkerTemplate, key) -> None:
+    def _instantiate_compiled(self, half: WorkerHalf, block_id, version,
+                              instance_id, cid_base, block_seq, params, key,
+                              grant: Optional[_WorkerGrant] = None) -> None:
         """Compiled fast path: replay a pooled command arena.
 
         Equivalent to ``half.instantiate`` + ``_enqueue_batch`` — same
@@ -329,16 +406,16 @@ class Worker(P.ReliableEndpoint, Actor):
         plan = half.compiled_plan()
         if fresh_plan and self._trace is not None:
             self._trace.instant(self.name, "template", "plan-compile",
-                                block_id=msg.block_id, **plan.describe())
+                                block_id=block_id, **plan.describe())
         m = plan.m
         self.charge(self.costs.worker_instantiate_per_command * m)
-        cid_base = msg.cid_base
         report_cids = {cid_base + plan.index[p] for p in plan.report_positions}
         record = _InstanceRecord(
-            msg.block_id, msg.instance_id, msg.block_seq,
+            block_id, instance_id, block_seq,
             remaining=m, report_cids=report_cids,
-            version=msg.version, cid_base=cid_base,
+            version=version, cid_base=cid_base,
             task_times={} if self.report_task_times else None,
+            grant=grant,
         )
         self._instances[key] = record
         if m == 0:
@@ -346,13 +423,13 @@ class Worker(P.ReliableEndpoint, Actor):
             return
         meta_key = ("instance", key)
         arena = self._run_compiled_plan(
-            plan, cid_base, msg.instance_id, msg.params,
+            plan, cid_base, instance_id, params,
             (meta_key, False, record), (meta_key, True, record),
         )
         if self._cross_check:
             self._cross_check_compiled(
                 half.entries, half.reports, plan, arena,
-                msg.instance_id, cid_base, msg.params,
+                instance_id, cid_base, params,
             )
 
     def _run_compiled_plan(self, plan: CompiledPlan, cid_base: int,
@@ -455,7 +532,9 @@ class Worker(P.ReliableEndpoint, Actor):
                 # on_ready call (including nested cascades it triggers)
                 arena.sweep_pos = i
                 if tr is not None:
-                    self._trace_release = None  # ready at instantiation
+                    # ready at instantiation; for a grant self-advance the
+                    # release is the command whose completion advanced us
+                    self._trace_release = self._advance_release
                 on_ready(cmd)
             i += 1
         arena.sweep_pos = plan.m
@@ -519,6 +598,8 @@ class Worker(P.ReliableEndpoint, Actor):
             self.store.destroy(oid)
         for key in [k for k in self._templates if k[0] == msg.job_id]:
             del self._templates[key]
+        for key in [k for k in self._grants if k[0] == msg.job_id]:
+            del self._grants[key]  # in-flight instances drain body-less
         self.metrics.incr("jobs.worker_releases")
 
     def _body_released(self, cmd: Command) -> bool:
@@ -667,7 +748,9 @@ class Worker(P.ReliableEndpoint, Actor):
                     lst.append(cid)
         if remaining == 0:
             if self._trace is not None:
-                self._trace_release = None  # ready straight from dispatch
+                # ready straight from dispatch (grant self-advances thread
+                # the completing command through instead)
+                self._trace_release = self._advance_release
             self._on_ready(cmd)
 
     def _on_data(self, msg: P.DataMessage) -> None:
@@ -914,7 +997,14 @@ class Worker(P.ReliableEndpoint, Actor):
             if report and cmd.write:
                 record.values[cmd.write[0]] = self.store.get(cmd.write[0])
             if record.remaining == 0:
-                self._finish_instance(record)
+                if tr is not None and record.grant is not None:
+                    # the next instance this grant starts is released by
+                    # this completion — thread the trace edge through
+                    self._advance_release = ("cmd", cid)
+                    self._finish_instance(record)
+                    self._advance_release = None
+                else:
+                    self._finish_instance(record)
             return
         if meta_key is None:
             return  # patch command: no ack needed
@@ -951,12 +1041,96 @@ class Worker(P.ReliableEndpoint, Actor):
 
     def _finish_instance(self, record: _InstanceRecord) -> None:
         del self._instances[(record.block_id, record.instance_id)]
+        if record.grant is not None:
+            self._grant_instance_done(record)
+            return
         if self._completion_buffer:
             self._flush_completions()
         self.send_reliable(self.controller, P.InstanceComplete(
             self.worker_id, record.block_id, record.instance_id,
             record.block_seq, record.compute_time, record.values,
             version=record.version, task_times=record.task_times,
+        ))
+
+    # ------------------------------------------------------------------
+    # Decentralized self-scheduling (DESIGN.md §14)
+    # ------------------------------------------------------------------
+    def _on_self_schedule(self, msg: P.SelfScheduleWindow) -> None:
+        key = (msg.job_id, msg.window_id)
+        if key in self._grants:
+            self._stale()  # redelivered grant: already being consumed
+            return
+        half = self._templates.get((msg.job_id, msg.block_id, msg.version))
+        if half is None:
+            raise KeyError(
+                f"worker {self.worker_id}: job {msg.job_id} granted a "
+                f"self-schedule window for ({msg.block_id!r}, "
+                f"v{msg.version}) which was never installed here "
+                f"(installed: {sorted(self._templates)})"
+            )
+        if msg.edits:
+            half.apply_edit_ops(msg.edits)
+            self.charge(self.costs.worker_edit_per_task * len(msg.edits))
+        grant = _WorkerGrant(key, msg.block_id, msg.version, half,
+                             msg.instances, msg.epoch)
+        self._grants[key] = grant
+        self._advance_grant(grant)
+
+    def _advance_grant(self, grant: _WorkerGrant) -> None:
+        """Consume the grant's instance list, pipelining up to
+        ``self_schedule_depth`` instances locally.
+
+        Before crossing each block boundary the worker checks that the
+        partition map has not moved since the grant was issued; a moved
+        map stalls the window and the remainder is reported back for the
+        controller to re-grant under the new epoch.
+        """
+        instances = grant.instances
+        while (grant.active < self.self_schedule_depth
+               and grant.next < len(instances)
+               and not grant.stalled):
+            if self._pm_epoch != grant.epoch:
+                grant.stalled = True
+                self.metrics.incr("self_schedule.stalls")
+                break
+            instance_id, cid_base, block_seq, params = instances[grant.next]
+            grant.next += 1
+            key = (grant.block_id, instance_id)
+            if key in self._seen_instances:
+                self._stale()  # re-granted instance that already ran here
+                continue
+            self._seen_instances.add(key)
+            self.charge(self.costs.worker_self_schedule_per_instance)
+            grant.active += 1
+            self._start_instance(grant.half, grant.block_id, grant.version,
+                                 instance_id, cid_base, block_seq, params,
+                                 key, grant=grant)
+        # synchronous completions can recurse through _grant_instance_done
+        # and finish the window inside _start_instance above — the grant
+        # membership check keeps the summary from being sent twice
+        if (grant.active == 0
+                and (grant.stalled or grant.next >= len(instances))
+                and self._grants.get(grant.key) is grant):
+            self._send_window_summary(grant)
+
+    def _grant_instance_done(self, record: _InstanceRecord) -> None:
+        grant = record.grant
+        grant.rows.append((record.instance_id, record.block_seq,
+                           record.compute_time, record.values,
+                           record.task_times, self.sim.now))
+        if self._grants.get(grant.key) is not grant:
+            return  # grant torn down (halt/release) while this drained
+        grant.active -= 1
+        self._advance_grant(grant)
+
+    def _send_window_summary(self, grant: _WorkerGrant) -> None:
+        del self._grants[grant.key]
+        if self._completion_buffer:
+            self._flush_completions()  # keep the in-order channel honest
+        job_id, window_id = grant.key
+        self.send_reliable(self.controller, P.WindowSummary(
+            self.worker_id, window_id, grant.rows, job_id=job_id,
+            stalled=grant.stalled, next_index=grant.next,
         ))
 
     # ------------------------------------------------------------------
@@ -1003,6 +1177,7 @@ class Worker(P.ReliableEndpoint, Actor):
         self._data_buffer.clear()
         self._expected.clear()
         self._instances.clear()
+        self._grants.clear()  # abandoned: recovery re-grants from scratch
         self._completion_buffer.clear()  # stale: their runs were abandoned
         # arenas of abandoned instances: every per-instance field is
         # rewritten on the next acquire, so they can be pooled immediately

@@ -9,13 +9,17 @@ catch regressions.
 
 from .harness import (  # noqa: F401
     BENCH_FILENAME,
+    MODE_SCALES,
     SCALES,
     SCHEMA_VERSION,
     bench_instantiate,
     bench_instantiate_compiled,
     bench_path,
     instantiate_allocations,
+    mode_row,
     rebalance_section,
+    results_digest,
+    scheduling_modes_section,
     serve_section,
     strong_scaling_section,
     load_bench,

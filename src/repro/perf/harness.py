@@ -70,7 +70,16 @@ from ..sim.engine import Simulator
 #: measured with event-loop cohort batching and completion fusion on
 #: (the default; REPRO_FUSED_CHAINS=0 restores the one-event-per-hop
 #: loop with bit-identical virtual results).
-SCHEMA_VERSION = 6
+#: v7 adds the ``scheduling_modes`` section (DESIGN.md §14): fig07/fig08
+#: at the scale's mode worker counts, centralized vs decentralized, 30
+#: iterations, recording wall clock (min over interleaved repetitions —
+#: host noise on a shared machine exceeds the effect otherwise),
+#: events/second, total and steady-state controller messages per task,
+#: and a results digest (sha256 over the per-block results history) that
+#: must be bit-identical across modes. The crossover acceptance — fewer
+#: controller messages per task and strictly better wall clock for the
+#: decentralized mode at 1000 workers — gates on these rows.
+SCHEMA_VERSION = 7
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -82,6 +91,15 @@ ITERATIONS = 14
 #: Empty at small scale — the 1000-worker run builds an 80k-partition
 #: program and takes tens of wall seconds, too heavy for the CI smoke.
 STRONG_SCALING = {"paper": [1000], "small": []}
+
+#: scheduling-mode comparison (schema v7): worker counts per scale, the
+#: workloads compared, the longer iteration count (the mode difference is
+#: a steady-state property — at 14 iterations ramp-up still dominates),
+#: and how many interleaved repetitions the wall-clock min is taken over.
+MODE_SCALES = {"paper": [100, 1000], "small": [20]}
+MODE_WORKLOADS = ("fig07_lr", "fig08_kmeans")
+MODE_ITERATIONS = 30
+MODE_REPS = 3
 
 #: counters that define the control plane's decisions; the harness asserts
 #: these are untouched by wall-clock optimizations
@@ -117,27 +135,29 @@ WORKLOADS = {
 }
 
 
-def _build_cluster(workload: str, num_workers: int,
-                   iterations: int) -> Tuple[NimbusCluster, Any]:
+def _build_cluster(workload: str, num_workers: int, iterations: int,
+                   mode: str = "centralized") -> Tuple[NimbusCluster, Any]:
     app_cls, spec_cls, blocking = WORKLOADS[workload]
     app = app_cls(spec_cls(num_workers=num_workers, iterations=iterations))
     # trace=False (not None): the harness measures the trace-off overhead
     # budget, so a REPRO_TRACE=1 environment must not turn tracing on here
     cluster = NimbusCluster(num_workers, app.program(blocking=blocking),
-                            registry=app.registry, trace=False)
+                            registry=app.registry, trace=False, mode=mode)
     return cluster, app
 
 
 def timed_workload(workload: str, num_workers: int,
                    iterations: int = ITERATIONS,
-                   capture_metrics: bool = False) -> Dict[str, Any]:
+                   capture_metrics: bool = False,
+                   mode: str = "centralized") -> Dict[str, Any]:
     """Run one harness Nimbus configuration and time it.
 
     With ``capture_metrics`` the row also carries a ``metrics_snapshot``:
     the obs registry's versioned dump of every counter/series/interval
     (taken after the run, so it costs no timed wall clock).
     """
-    cluster, app = _build_cluster(workload, num_workers, iterations)
+    cluster, app = _build_cluster(workload, num_workers, iterations,
+                                  mode=mode)
     start = time.perf_counter()
     cluster.run_until_finished(max_seconds=1e6)
     wall = time.perf_counter() - start
@@ -159,6 +179,101 @@ def timed_workload(workload: str, num_workers: int,
     if capture_metrics:
         row["metrics_snapshot"] = snapshot_metrics(cluster.metrics)
     return row
+
+
+def _canon(value):
+    """JSON-serializable bit-exact form of a task result."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a test-env dep
+        np = None
+    if np is not None and isinstance(value, np.ndarray):
+        return {"__ndarray__": [value.dtype.str, list(value.shape),
+                                value.tobytes().hex()]}
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in
+                sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    return value
+
+
+def results_digest(cluster, job_id: int = 0) -> str:
+    """sha256 (truncated) over the job's ordered per-block results history.
+
+    The scheduling-mode fidelity gate: both modes must produce the same
+    digest, which pins every returned value of every block, bit for bit,
+    in completion order.
+    """
+    import hashlib
+
+    history = cluster.controller.jobs[job_id].results_history
+    payload = json.dumps([_canon([block_id, results])
+                          for block_id, results in history], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def mode_row(workload: str, num_workers: int, mode: str,
+             iterations: int = MODE_ITERATIONS) -> Dict[str, Any]:
+    """One scheduling-mode comparison run (schema v7 row)."""
+    gc.collect()  # each timed run starts from the same collector state
+    cluster, app = _build_cluster(workload, num_workers, iterations,
+                                  mode=mode)
+    start = time.perf_counter()
+    cluster.run_until_finished(max_seconds=1e6)
+    wall = time.perf_counter() - start
+    m = cluster.metrics
+    tasks = m.count("tasks_executed")
+    msgs = (m.count("controller.messages_in"),
+            m.count("controller.messages_out"))
+    steady = (m.count("controller.steady_messages_in"),
+              m.count("controller.steady_messages_out"))
+    block_id = app.iteration_block.block_id
+    return {
+        "workers": num_workers,
+        "mode": mode,
+        "iterations": iterations,
+        "wall_seconds": round(wall, 4),
+        "events": cluster.sim.events_run,
+        "events_per_second": round(cluster.sim.events_run / wall),
+        "virtual_seconds": cluster.sim.now,
+        "mean_iteration_time": mean_iteration_time(
+            m, block_id, skip=iterations // 2),
+        "tasks": tasks,
+        "controller_messages_in": msgs[0],
+        "controller_messages_out": msgs[1],
+        "controller_messages_per_task": round(sum(msgs) / tasks, 6),
+        "steady_controller_messages_in": steady[0],
+        "steady_controller_messages_out": steady[1],
+        "steady_controller_messages_per_task": round(
+            sum(steady) / tasks, 6),
+        "results_digest": results_digest(cluster),
+    }
+
+
+def scheduling_modes_section(scale: str) -> Dict[str, Any]:
+    """Centralized vs decentralized, interleaved min-of-N (schema v7).
+
+    Repetitions alternate modes back to back so allocator/collector drift
+    over the section biases neither mode; the wall clock and events/sec
+    of each row are the fastest repetition's, while the virtual fields
+    (iteration time, message counts, digest) are deterministic and
+    identical across repetitions by construction.
+    """
+    section: Dict[str, Any] = {}
+    for workload in MODE_WORKLOADS:
+        best: Dict[Tuple[int, str], Dict[str, Any]] = {}
+        for n in MODE_SCALES[scale]:
+            for _rep in range(MODE_REPS):
+                for mode in ("centralized", "decentralized"):
+                    row = mode_row(workload, n, mode)
+                    key = (n, mode)
+                    if (key not in best
+                            or row["wall_seconds"]
+                            < best[key]["wall_seconds"]):
+                        best[key] = row
+        section[workload] = [best[key] for key in sorted(best)]
+    return section
 
 
 def workload_allocations(workload: str, num_workers: int,
@@ -478,6 +593,7 @@ def run_harness(scale: str = "paper",
         "baseline_wall_seconds": BASELINE_WALL[scale],
         "speedup_vs_baseline": speedup,
         "strong_scaling": strong_scaling_section(scale),
+        "scheduling_modes": scheduling_modes_section(scale),
         "rebalance": rebalance_section(scale),
         "serve": serve_section(scale),
     }

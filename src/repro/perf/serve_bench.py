@@ -58,6 +58,7 @@ def build_job_arrival(
     max_concurrent: int = 3,
     queue_cap: int = 8,
     dispatch_inflight_cap: int = 4,
+    mode: str = "centralized",
 ) -> NimbusCluster:
     """Build a serve-mode cluster with ``num_jobs`` scheduled arrivals.
 
@@ -91,6 +92,7 @@ def build_job_arrival(
         max_concurrent_jobs=max_concurrent,
         job_queue_cap=queue_cap,
         dispatch_inflight_cap=dispatch_inflight_cap,
+        mode=mode,
     )
     rng = random.Random(seed)
     arrival = 0.0
@@ -110,13 +112,14 @@ def run_job_arrival(
     max_concurrent: int = 3,
     queue_cap: int = 8,
     dispatch_inflight_cap: int = 4,
+    mode: str = "centralized",
 ) -> Dict[str, Any]:
     """Run the arrival workload and report the serving metrics."""
     cluster = build_job_arrival(
         num_workers=num_workers, num_jobs=num_jobs, seed=seed,
         mean_interarrival=mean_interarrival, iterations=iterations,
         max_concurrent=max_concurrent, queue_cap=queue_cap,
-        dispatch_inflight_cap=dispatch_inflight_cap,
+        dispatch_inflight_cap=dispatch_inflight_cap, mode=mode,
     )
     start = time.perf_counter()
     cluster.run_until_jobs_finished(max_seconds=1e6)

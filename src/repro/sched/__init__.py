@@ -1,5 +1,11 @@
-"""Adaptive scheduling: the measurement-driven rebalancing loop."""
+"""Adaptive scheduling: rebalancing loop and scheduling policies."""
 
+from .policy import (
+    CentralizedPolicy,
+    DecentralizedPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
 from .rebalance import (
     GreedyLeastLoaded,
     LoadTracker,
@@ -8,8 +14,12 @@ from .rebalance import (
 )
 
 __all__ = [
+    "CentralizedPolicy",
+    "DecentralizedPolicy",
     "GreedyLeastLoaded",
     "LoadTracker",
     "RebalancePolicy",
     "Rebalancer",
+    "SchedulingPolicy",
+    "make_policy",
 ]

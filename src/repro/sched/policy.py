@@ -1,0 +1,365 @@
+"""Scheduling policies: how block instantiations become worker work.
+
+The controller owns shared mechanism — id allocation, run bookkeeping,
+the directory, validation, patching — and delegates the *dispatch
+decision path* to a per-job :class:`SchedulingPolicy` (the seam ROADMAP
+item 2 names, extending the rebalancer's pluggable-policy pattern):
+
+* :class:`CentralizedPolicy` — the paper's control plane. Every
+  instantiation is a driver→controller round-trip; the controller
+  validates, patches, and ships one ``InstantiateWorkerTemplate`` per
+  worker per instance (§2.2's n+1 messages).
+
+* :class:`DecentralizedPolicy` — Canary-style self-scheduling
+  (DESIGN.md §14). The driver submits *windows* of iterations; once a
+  window entry reaches the installed/auto-validating steady state the
+  controller validates the window once, allocates every instance's ids
+  up front, and grants each worker the full schedule in one
+  ``SelfScheduleWindow``. Workers advance instance to instance locally
+  and report one ``WindowSummary`` back. The controller retains
+  exclusive ownership of partition-map changes: windows are granted one
+  at a time per job, so every window boundary is a quiesce point, and a
+  partition-map epoch bump stalls any straggling grant at its next
+  block boundary (the worker-side barrier).
+
+Entries that do not auto-validate — the install staircase, blocks
+needing full validation or patches — fall back to the centralized
+per-entry path inside the window, so both modes produce bit-identical
+computed values by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..nimbus import protocol as P
+
+
+class SchedulingPolicy:
+    """How one job's block instantiations turn into worker work."""
+
+    mode = "abstract"
+
+    def __init__(self, controller, ctx):
+        self.controller = controller
+        self.ctx = ctx
+
+    def instantiate(self, msg: P.InstantiateBlock) -> None:
+        """Process one (already de-duplicated, un-gated) instantiation."""
+        raise NotImplementedError
+
+    def instantiate_window(self, msg: P.InstantiateWindow) -> None:
+        """Process a driver-submitted window of instantiations."""
+        raise NotImplementedError
+
+    def on_window_summary(self, msg: P.WindowSummary) -> None:
+        raise NotImplementedError
+
+    def submit_central(self, block, params, template_start: bool,
+                       request_id: int) -> None:
+        """Process a SubmitBlock (central/capture path)."""
+        self.controller._run_block_centrally(
+            self.ctx, block, params, capture=template_start,
+            receive_cost=True, request_id=request_id)
+
+    def outstanding_grants(self) -> int:
+        """Self-schedule grants in flight (0 = quiesced, map may change)."""
+        return 0
+
+    def reset(self) -> None:
+        """Drop in-flight policy state (recovery or job release)."""
+
+
+class CentralizedPolicy(SchedulingPolicy):
+    """The paper's centralized control plane: one decision per instance."""
+
+    mode = "centralized"
+
+    def instantiate(self, msg: P.InstantiateBlock) -> None:
+        self.controller._process_instantiate(self.ctx, msg)
+
+    def instantiate_window(self, msg: P.InstantiateWindow) -> None:
+        # a centralized driver never sends windows; degrade gracefully to
+        # per-entry processing (value-identical) if one ever arrives
+        for request_id, task_id_base, params in msg.entries:
+            if self.controller._duplicate_request(self.ctx, request_id):
+                continue
+            self.controller._process_instantiate(self.ctx, P.InstantiateBlock(
+                msg.block_id, msg.num_tasks, task_id_base, params,
+                request_id, job_id=msg.job_id))
+
+    def on_window_summary(self, msg: P.WindowSummary) -> None:
+        raise TypeError(
+            f"job {self.ctx.job_id} is centralized but worker "
+            f"{msg.worker_id} sent a WindowSummary (window {msg.window_id})")
+
+
+class _WindowGrant:
+    """Controller-side state of one granted self-schedule window."""
+
+    __slots__ = ("window_id", "block_id", "version", "seqs", "per_worker",
+                 "expected", "progress", "ends")
+
+    def __init__(self, window_id: int, block_id: str, version: int):
+        self.window_id = window_id
+        self.block_id = block_id
+        self.version = version
+        #: run seqs of the window's instances, in grant order
+        self.seqs: List[int] = []
+        #: worker -> [(instance_id, cid_base, block_seq, params)], the
+        #: full per-worker schedule (kept for epoch-stall re-grants)
+        self.per_worker: Dict[int, List[Tuple]] = {}
+        self.expected: Set[int] = set()
+        #: worker -> instances already started there (re-grant offset)
+        self.progress: Dict[int, int] = {}
+        #: seq -> latest worker-local finish time (the block's honest end)
+        self.ends: Dict[int, float] = {}
+
+
+class DecentralizedPolicy(SchedulingPolicy):
+    """Worker self-scheduling: the controller grants, workers advance.
+
+    Windows are granted one at a time per job; later submissions (windows
+    *and* any interleaved central/instantiate traffic) queue in FIFO
+    order behind the outstanding grant so cross-block submission order is
+    preserved exactly as the centralized driver's backlog preserves it.
+    """
+
+    mode = "decentralized"
+
+    def __init__(self, controller, ctx):
+        super().__init__(controller, ctx)
+        self._queue: List[Tuple] = []
+        self._grant: Optional[_WindowGrant] = None
+
+    # -- queue management ----------------------------------------------
+    def outstanding_grants(self) -> int:
+        return 0 if self._grant is None else 1
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._grant = None
+
+    def instantiate(self, msg: P.InstantiateBlock) -> None:
+        self._queue.append(("instantiate", msg))
+        self._pump()
+
+    def instantiate_window(self, msg: P.InstantiateWindow) -> None:
+        self._queue.append(("window", msg))
+        self._pump()
+
+    def submit_central(self, block, params, template_start: bool,
+                       request_id: int) -> None:
+        self._queue.append(("submit", block, params, template_start,
+                            request_id))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Process queued submissions until a grant is outstanding."""
+        c = self.controller
+        while self._queue and self._grant is None:
+            item = self._queue.pop(0)
+            kind = item[0]
+            if kind == "submit":
+                _k, block, params, template_start, request_id = item
+                c._run_block_centrally(
+                    self.ctx, block, params, capture=template_start,
+                    receive_cost=True, request_id=request_id)
+            elif kind == "instantiate":
+                c._process_instantiate(self.ctx, item[1])
+            else:
+                self._process_window(item[1])
+
+    # -- the grant path ------------------------------------------------
+    def _grantable_wts(self, block_id: str):
+        """The window's WorkerTemplateSet iff it auto-validates (no side
+        effects — fallback entries must reach ``_process_instantiate``
+        with pristine state)."""
+        ctx = self.ctx
+        if ctx.phase.get(block_id) != self.controller.PHASE_WT_INSTALLED:
+            return None
+        wts = ctx.worker_templates.get(
+            (block_id, ctx.current_version[block_id]))
+        if wts is None or not ctx.validation_state.auto_validates(wts.key):
+            return None
+        return wts
+
+    def _process_window(self, msg: P.InstantiateWindow) -> None:
+        """Fallback-or-grant each entry, in submission order.
+
+        Entries before the steady state (install staircase, migrations
+        pending full validation) go through the exact centralized path;
+        from the first auto-validating entry on, the rest of the window
+        becomes one grant. A same-key entry keeps auto-validating after a
+        granted predecessor, so the grant is always a contiguous tail.
+        """
+        c = self.controller
+        ctx = self.ctx
+        grant: Optional[_WindowGrant] = None
+        wts = None
+        n = msg.num_tasks
+        for request_id, task_id_base, params in msg.entries:
+            if c._duplicate_request(ctx, request_id):
+                continue
+            if grant is None:
+                wts = self._grantable_wts(msg.block_id)
+                if wts is None:
+                    c._process_instantiate(ctx, P.InstantiateBlock(
+                        msg.block_id, n, task_id_base, params,
+                        request_id, job_id=msg.job_id))
+                    continue
+                # one validation covers the whole window: the grant is
+                # the controller's *last* per-instance decision
+                c._install_worker_halves(ctx, wts)
+                c.charge(
+                    c.costs.instantiate_worker_template_auto_per_task * n)
+                ctx.metrics.incr("auto_validations")
+                grant = _WindowGrant(c._alloc_window_id(), msg.block_id,
+                                     wts.version)
+            # extend the grant by one instance, allocating ids exactly as
+            # a centralized instantiation would (instance-major,
+            # worker-minor — the id streams are bit-identical)
+            c.charge(c.costs.self_schedule_grant_per_task * n)
+            run = c._new_run(ctx, msg.block_id, n, "self",
+                             request_id=request_id)
+            run.instance_id = c._next_instance
+            c._next_instance += 1
+            for worker in wts.workers():
+                cid_base = c._alloc_cids(len(wts.entries[worker]))
+                grant.per_worker.setdefault(worker, []).append(
+                    (run.instance_id, cid_base, run.seq, params))
+            run.expected_workers = set(wts.workers())
+            run.outstanding = len(run.expected_workers)
+            for name, oid in wts.returns.items():
+                run.return_cids[oid] = (name, oid)
+            wts.delta.apply(ctx.directory)
+            ctx.validation_state.note_instantiation(wts.key)
+            ctx.prev_block_key = wts.key
+            ctx.metrics.incr("tasks_scheduled", n)
+            ctx.metrics.incr("self_schedule_instances")
+            grant.seqs.append(run.seq)
+            if c._trace is not None:
+                c._trace_decided(run)
+        if grant is None:
+            return
+        ctx.metrics.incr("self_schedule_grants")
+        edits_by_worker = ctx.pending_edits.pop(wts.key, {})
+        for worker in sorted(grant.per_worker):
+            instances = grant.per_worker[worker]
+            out = P.SelfScheduleWindow(
+                grant.window_id, grant.block_id, grant.version,
+                c.pm_epoch, instances, job_id=ctx.job_id,
+                edits=edits_by_worker.get(worker))
+            # honest wire size: the sum of the per-instance
+            # InstantiateWorkerTemplate messages this grant replaces
+            out.size_bytes = (
+                (P.TASK_ID_BYTES * len(wts.entries[worker])
+                 + P.PARAM_BLOCK_BYTES) * len(instances))
+            c.send_reliable(c.workers[worker], out)
+            grant.expected.add(worker)
+            grant.progress[worker] = 0
+        self._grant = grant
+
+    # -- summaries ------------------------------------------------------
+    def on_window_summary(self, msg: P.WindowSummary) -> None:
+        c = self.controller
+        ctx = self.ctx
+        grant = self._grant
+        if grant is None or grant.window_id != msg.window_id:
+            c.metrics.incr("self_schedule.orphan_summaries")
+            return
+        # one coarse completion per summary plus the per-row folds — the
+        # same rates the centralized completion path charges
+        c.charge(c.costs.controller_block_completion)
+        for (instance_id, block_seq, compute_time, values, task_times,
+             finished_at) in msg.rows:
+            c.charge(c.costs.controller_completion_per_task)
+            run = c.runs.get(block_seq)
+            if run is None:
+                continue
+            run.outstanding -= 1
+            if finished_at > grant.ends.get(block_seq, 0.0):
+                grant.ends[block_seq] = finished_at
+            run.compute_by_worker[msg.worker_id] = (
+                run.compute_by_worker.get(msg.worker_id, 0.0) + compute_time)
+            if c.rebalancer is not None:
+                c.rebalancer.observe_instance(
+                    ctx, grant.block_id, grant.version, msg.worker_id,
+                    compute_time, task_times)
+            for oid, value in values.items():
+                if oid in run.return_cids:
+                    name, _oid = run.return_cids[oid]
+                    run.results[name] = value
+        grant.progress[msg.worker_id] = (
+            grant.progress.get(msg.worker_id, 0) + msg.next_index)
+        if msg.stalled:
+            self._regrant(msg.worker_id)
+            return
+        grant.expected.discard(msg.worker_id)
+        if not grant.expected:
+            self._finish_window(grant)
+
+    def _regrant(self, worker: int) -> None:
+        """Re-issue a stalled worker's remaining instances under the
+        current epoch. Ids are unchanged, so the protocol is idempotent:
+        data already exchanged for granted instances still tag-matches."""
+        c = self.controller
+        grant = self._grant
+        remaining = grant.per_worker[worker][grant.progress[worker]:]
+        out = P.SelfScheduleWindow(
+            grant.window_id, grant.block_id, grant.version, c.pm_epoch,
+            remaining, job_id=self.ctx.job_id)
+        wts = self.ctx.worker_templates.get((grant.block_id, grant.version))
+        entries = len(wts.entries[worker]) if wts is not None else 1
+        out.size_bytes = ((P.TASK_ID_BYTES * entries + P.PARAM_BLOCK_BYTES)
+                          * max(1, len(remaining)))
+        c.send_reliable(c.workers[worker], out)
+        c.metrics.incr("self_schedule.regrants")
+
+    def _finish_window(self, grant: _WindowGrant) -> None:
+        """Close every run of the window (in seq order) and notify the
+        driver once. Mirrors ``Controller._finish_block`` per run, with
+        the per-run driver message batched into one."""
+        c = self.controller
+        ctx = self.ctx
+        items = []
+        for seq in grant.seqs:
+            run = c.runs.pop(seq, None)
+            if run is None:
+                continue
+            if c._trace is not None:
+                c._trace.run_finish(run.seq)
+            compute = 0.0
+            if run.compute_by_worker:
+                compute = (max(run.compute_by_worker.values())
+                           / c.slots_per_worker)
+            # end each block at its last worker's local finish time, not
+            # at the fold: iteration-time statistics stay meaningful even
+            # when a whole steady-state run fits in one window
+            ctx.metrics.end("block", grant.ends.get(seq, c.sim.now),
+                            key=run.seq, compute=compute,
+                            results=dict(run.results))
+            ctx.results_history.append((run.block_id, dict(run.results)))
+            for worker, compute_time in run.compute_by_worker.items():
+                c.load_tracker.observe(worker, compute_time, {})
+            items.append((run.block_id, run.seq, dict(run.results),
+                          run.request_id, grant.ends.get(seq, c.sim.now)))
+        self._grant = None
+        c.send_reliable(ctx.driver, P.BlockCompleteBatch(items))
+        # the window boundary is the quiesce point: no grant is
+        # outstanding for this job, so the partition map may change now
+        if (c.rebalancer is not None and not c._recovering
+                and not c._checkpointing):
+            c.rebalancer.maybe_rebalance(ctx, grant.block_id)
+        self._pump()
+        c._drain_dispatch_queue()
+
+
+def make_policy(mode: str, controller, ctx) -> SchedulingPolicy:
+    if mode == "centralized":
+        return CentralizedPolicy(controller, ctx)
+    if mode == "decentralized":
+        return DecentralizedPolicy(controller, ctx)
+    raise ValueError(
+        f"unknown scheduling mode {mode!r}; "
+        f"choose 'centralized' or 'decentralized'")

@@ -72,7 +72,9 @@ class Network:
         self.loopback_latency = loopback_latency
         self.metrics = metrics
         self.on_partition_drop = on_partition_drop
-        self._link_free: Dict[Tuple[str, str], float] = {}
+        # (src, dst) -> [link free time, depart time of the latest-departing
+        # message]; see _deliver for the depart-order serialization rule
+        self._link_free: Dict[Tuple[str, str], list] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
         self.partition_drops = 0
@@ -137,10 +139,27 @@ class Network:
             arrive = depart + self.loopback_latency
         else:
             key = (src.name, dst.name)
-            free = self._link_free.get(key, 0.0)
-            start = max(depart, free)
-            done = start + size / self.bandwidth
-            self._link_free[key] = done
+            entry = self._link_free.get(key)
+            if entry is None:
+                done = depart + size / self.bandwidth
+                self._link_free[key] = [done, depart]
+            else:
+                free, last_depart = entry
+                if depart < last_depart:
+                    # The link serializes in hand-off (depart) order, not
+                    # in the order transmit() is called: a message sent
+                    # from a long handler is handed to the NIC only when
+                    # the handler's charged time elapses, so a transport
+                    # frame (ack, retransmission) generated meanwhile goes
+                    # out first. It fits before the future reservation
+                    # begins; its own occupancy (tiny control frames) is
+                    # not added to the staircase.
+                    done = depart + size / self.bandwidth
+                else:
+                    start = depart if depart > free else free
+                    done = start + size / self.bandwidth
+                    entry[0] = done
+                    entry[1] = depart
             arrive = done + self.latency
         arrive += extra_delay
         sim = self.sim

@@ -134,6 +134,40 @@ def virtual_results(cluster, block_id: Optional[str] = None, skip: int = 0):
     return (mean_iteration_time(cluster.metrics, block_id, skip=skip),) + base
 
 
+def canon(value):
+    """Hashable bit-exact form of a task result (arrays by raw bytes)."""
+    import numpy as np
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return tuple(sorted((k, canon(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(canon(v) for v in value)
+    return value
+
+
+def computed_values(cluster, job_id: int = 0):
+    """Everything one job *computed*, independent of when it computed it.
+
+    The decentralized scheduling mode intentionally changes event timing
+    (windows replace per-instance controller round-trips), so mode-parity
+    sweeps cannot compare :func:`virtual_results` — they compare this:
+    the ordered per-block results history, the executed-task count, and
+    the final bit-exact value of every object in the job's directory.
+    """
+    ctx = cluster.controller.jobs[job_id]
+    history = tuple(
+        (block_id, tuple(sorted((k, canon(v)) for k, v in results.items())))
+        for block_id, results in ctx.results_history)
+    values = {}
+    for obj in ctx.directory.objects():
+        holders = ctx.directory.holders_of_latest(obj.oid)
+        if not holders:  # evicted/garbage-collected objects have no value
+            continue
+        values[obj.oid] = canon(cluster.workers[min(holders)].store.get(obj.oid))
+    return (history, cluster.metrics.count("tasks_executed"), values)
+
+
 def random_combine_schedule(seed: int, oids: Sequence[int]):
     """A seeded random program over ``combine``/``seed`` tasks.
 

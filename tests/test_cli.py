@@ -79,3 +79,49 @@ def test_rotation_requires_nimbus():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+def test_lr_decentralized_mode_runs(capsys):
+    assert main(["lr", "--workers", "4", "--iterations", "8",
+                 "--mode", "decentralized"]) == 0
+    out = capsys.readouterr().out
+    assert "logistic regression" in out
+    assert "steady-state iteration time" in out
+
+
+def test_decentralized_mode_requires_nimbus():
+    with pytest.raises(SystemExit, match="nimbus"):
+        main(["lr", "--workers", "4", "--system", "spark",
+              "--mode", "decentralized"])
+
+
+def test_serve_accepts_mode(capsys):
+    assert main(["serve", "--workers", "4", "--jobs", "2",
+                 "--iterations", "4", "--mode", "decentralized"]) == 0
+    assert "job_arrival" in capsys.readouterr().out
+
+
+def test_profile_unknown_workload_is_a_described_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["profile", "--workload", "fig99_nope",
+              "--workers", "2", "--iterations", "4"])
+    message = str(excinfo.value)
+    assert "fig99_nope" in message
+    # the error names the valid choices instead of dumping a traceback
+    assert "fig07_lr" in message and "fig08_kmeans" in message
+
+
+@pytest.mark.parametrize("sort", ["cumulative", "tottime"])
+def test_profile_sort_orders(sort, capsys):
+    assert main(["profile", "--workload", "fig07_lr", "--workers", "2",
+                 "--iterations", "4", "--sort", sort, "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "fig07_lr" in out
+    # pstats prints the human name of the sort key it applied
+    label = {"cumulative": "cumulative time", "tottime": "internal time"}
+    assert f"Ordered by: {label[sort]}" in out
+
+
+def test_profile_rejects_unknown_sort():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["profile", "--sort", "calls"])

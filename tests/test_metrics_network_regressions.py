@@ -88,7 +88,9 @@ def test_partition_clears_link_reservations():
     sim, net, src, dst = two_actor_net()
     # a 2-second transfer books the src->dst link far into the future
     net.transmit(src, dst, Payload("big", size_bytes=2_000_000), depart=0.0)
-    assert net._link_free[("src", "dst")] == pytest.approx(2.0)
+    free, last_depart = net._link_free[("src", "dst")]
+    assert free == pytest.approx(2.0)
+    assert last_depart == pytest.approx(0.0)
 
     net.partition("dst")
     assert all("dst" not in key for key in net._link_free)
@@ -117,7 +119,7 @@ def test_scripted_pause_clears_reservations_mid_run():
     # the healed link must not inherit the aborted transfer's booking
     arrivals = dict((tag, t) for t, tag in dst.arrivals)
     assert arrivals["after-heal"] == pytest.approx(0.80 + 1000 / 1e6 + 1e-3)
-    assert net._link_free[("src", "dst")] == pytest.approx(0.801)
+    assert net._link_free[("src", "dst")][0] == pytest.approx(0.801)
 
 
 def test_worker_crash_clears_its_link_reservations():

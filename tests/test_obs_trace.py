@@ -35,13 +35,15 @@ GOLDEN_TRACE = os.path.join(DATA_DIR, "golden_trace.json")
 LR_BLOCK = "lr.iteration"
 
 
-def run_lr(trace, seed=0, chaos_seed=None, workers=3, iterations=6):
+def run_lr(trace, seed=0, chaos_seed=None, workers=3, iterations=6,
+           mode="centralized"):
     """This suite's convention: chaos means the "lossy" profile, and the
     first (trace on/off) argument is what each test varies."""
     return helpers.run_lr(
         workers=workers, iterations=iterations, seed=seed,
         chaos_profile=None if chaos_seed is None else "lossy",
-        chaos_seed=0 if chaos_seed is None else chaos_seed, trace=trace)
+        chaos_seed=0 if chaos_seed is None else chaos_seed, trace=trace,
+        mode=mode)
 
 
 def virtual_results(cluster):
@@ -223,6 +225,45 @@ def test_critical_path_attributes_the_wall_clock():
                         + (report.total - report.attributed), report.total)
     rendered = render_critical_path(report)
     assert "critical path" in rendered and "attributed" in rendered
+
+
+def test_critical_path_covers_decentralized_runs():
+    """A self-scheduling run's steady-state instances are dispatched by
+    the worker itself, so most commands on the path have no per-instance
+    controller decision; the frontier walk must still attribute ≥95% of
+    the wall clock."""
+    cluster = run_lr(iterations=16, trace=True, mode="decentralized")
+    report = critical_path(cluster.tracer)
+    assert report.total == cluster.sim.now
+    assert not report.truncated
+    assert report.coverage >= 0.95
+    assert report.segments["compute"] > 0.0
+
+
+def test_critical_path_tolerates_missing_decision_spans():
+    """Regression: the walk assumed every run had a controller decision
+    span (``decide_start``/``decide_end``).  Strip them — the shape a
+    controller-bypassed hop produces — and the walk must neither crash
+    nor leave the wall clock unattributed."""
+    cluster = run_lr(iterations=12, trace=True, mode="decentralized")
+    tracer = cluster.tracer
+    stripped = 0
+    for run in tracer.runs.values():
+        if run.mode == "self":
+            run.decide_start = None
+            run.decide_end = None
+            stripped += 1
+    assert stripped > 0  # the steady state really is self-scheduled
+    report = critical_path(tracer)
+    assert not report.truncated
+    assert report.coverage >= 0.95
+
+    # even with the run records gone entirely the walk stays total
+    for run in [r for r in tracer.runs.values() if r.mode == "self"]:
+        del tracer.runs[run.seq]
+    report = critical_path(tracer)
+    assert not report.truncated
+    assert report.coverage >= 0.95
 
 
 def test_critical_path_of_empty_trace_is_benign():
