@@ -269,7 +269,7 @@ def test_engine_throughput_floor_vs_committed(report):
     committed = load_bench(bench_path(REPO_ROOT))
     if committed is None or SCALE not in committed.get("scales", {}):
         pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
-    if committed.get("schema_version") not in (6, 7):
+    if committed.get("schema_version") not in (6, 7, 8):
         # v6 changed the measurement itself (fresh simulator per chunk —
         # the old shared simulator inflated the rate), so pre-v6 numbers
         # are not comparable
@@ -355,6 +355,31 @@ def test_serve_section_gates_multitenant_metrics(report):
     assert all(row["tasks_scheduled"] > 0 for row in run["per_job"])
 
 
+def test_scale_step_rows_converge_with_zero_loss(report):
+    """Schema v8: every demand-step row in the scale_step section — a 2x
+    scripted demand step against the elastic autoscaler — re-stabilizes
+    within its reconciliation-tick bound, adds real workers through the
+    template machinery (edits/reinstall/reassign, never a restart), and
+    executes exactly the fixed-size control run's tasks with an identical
+    results digest (zero lost or duplicated completions)."""
+    rows = report["scale_step"]["rows"]
+    assert rows, "scale_step section is empty"
+    for row in rows:
+        where = f"scale_step@{row['workers']}"
+        assert row["zero_loss"] is True, \
+            f"{where}: autoscaled run lost or duplicated completions"
+        assert row["converged"] is True, \
+            f"{where}: reconciliation never went quiet"
+        assert row["workers_added"] > 0, \
+            f"{where}: 2x step provisioned no workers"
+        assert row["workers_final"] > row["workers"], where
+        assert row["ticks_to_stable"] is not None
+        assert row["ticks_to_stable"] <= row["stable_ticks_bound"], \
+            f"{where}: {row['ticks_to_stable']} ticks to stable"
+        assert set(row["mechanisms"]) <= {"edits", "reinstall", "reassign"}, \
+            f"{where}: unexpected spread mechanism"
+
+
 def test_committed_paper_crossover_is_recorded():
     """The committed BENCH file's paper-scale rows document the
     crossover even when this run is the CI smoke (small scale): at 1000
@@ -362,9 +387,9 @@ def test_committed_paper_crossover_is_recorded():
     ≥5x fewer steady controller messages per task, with bit-identical
     results digests."""
     committed = load_bench(bench_path(REPO_ROOT))
-    if (committed is None or committed.get("schema_version") != 7
+    if (committed is None or committed.get("schema_version") not in (7, 8)
             or "paper" not in committed.get("scales", {})):
-        pytest.skip("no committed v7 paper-scale BENCH numbers yet")
+        pytest.skip("no committed v7+ paper-scale BENCH numbers yet")
     section = committed["scales"]["paper"]["scheduling_modes"]
     for workload, n, cent, dec in _mode_pairs(section):
         assert dec["results_digest"] == cent["results_digest"], \
@@ -381,10 +406,11 @@ def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 7
+    assert doc["schema_version"] == 8
     assert SCALE in doc["scales"]
     assert "strong_scaling" in doc["scales"][SCALE]
     assert "scheduling_modes" in doc["scales"][SCALE]
+    assert "scale_step" in doc["scales"][SCALE]
     assert doc["scales"][SCALE]["workloads"].keys() == \
         {"fig07_lr", "fig08_kmeans", "patch_rotation"}
     assert doc["scales"][SCALE]["allocations"].keys() == \

@@ -137,8 +137,36 @@ class FaultPlan:
         self.scripted.append((at, "slow", (worker, scale)))
         return self
 
+    def demand_step(self, at: float, scale: float) -> "FaultPlan":
+        """At time ``at``, scale *every* worker's task durations by
+        ``scale`` (multiplicatively, so scripted stragglers keep their
+        relative slowness).
+
+        Models a cluster-wide demand change — the input got ``scale``×
+        heavier per task — which is the scripted, seeded stimulus the
+        autoscaler's scale-step experiments react to. Workers provisioned
+        after ``at`` inherit the ambient level via
+        :meth:`ambient_demand_scale`.
+        """
+        self.scripted.append((at, "demand", (scale,)))
+        return self
+
+    def ambient_demand_scale(self, now: float) -> float:
+        """Product of all demand steps at or before ``now`` — the duration
+        scale a worker provisioned at ``now`` must start with."""
+        s = 1.0
+        for at, kind, args in self.scripted:
+            if kind == "demand" and at <= now:
+                s *= args[0]
+        return s
+
     def apply_scripted(self, sim, network, workers: Dict[int, object]) -> None:
-        """Schedule the scripted events onto a wired cluster."""
+        """Schedule the scripted events onto a wired cluster.
+
+        ``workers`` is held by reference: a "demand" event scales every
+        worker in the dict *at fire time*, including any the autoscaler
+        provisioned after wiring.
+        """
         for at, kind, args in sorted(self.scripted):
             if kind == "crash":
                 (wid,) = args
@@ -151,12 +179,20 @@ class FaultPlan:
                 wid, scale = args
                 sim.schedule_at(at, self._set_duration_scale,
                                 workers[wid], scale)
+            elif kind == "demand":
+                (scale,) = args
+                sim.schedule_at(at, self._apply_demand_step, workers, scale)
             else:  # pragma: no cover - guarded by the builder methods
                 raise ValueError(f"unknown scripted fault kind {kind!r}")
 
     @staticmethod
     def _set_duration_scale(worker, scale: float) -> None:
         worker.duration_scale = scale
+
+    @staticmethod
+    def _apply_demand_step(workers, scale: float) -> None:
+        for worker in workers.values():
+            worker.duration_scale *= scale
 
     # -- decision ------------------------------------------------------
     def decide(self, rng, src_name: str, dst_name: str,

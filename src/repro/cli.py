@@ -86,6 +86,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="straggler threshold: rebalance when a "
                              "worker's load estimate exceeds X times the "
                              "live-worker mean (default 1.4)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="enable the elastic autoscaler (desired-state "
+                             "reconciliation against the load EWMA; scales "
+                             "up via provision+spread, down via the "
+                             "DRAINING drain); nimbus only")
+    parser.add_argument("--autoscale-interval", type=float, default=None,
+                        metavar="S",
+                        help="reconciliation tick period in virtual "
+                             "seconds (default 0.25)")
+    parser.add_argument("--autoscale-cold-start", type=float, default=None,
+                        metavar="S",
+                        help="provisioning delay before a new worker "
+                             "joins the live set (default 1.0)")
+    parser.add_argument("--autoscale-max-workers", type=int, default=None,
+                        metavar="N",
+                        help="upper bound on the live worker count "
+                             "(default 4x the initial size)")
     parser.add_argument("--trace", action="store_true",
                         help="record a command-lifecycle trace (also "
                              "enabled by REPRO_TRACE=1); nimbus only")
@@ -119,6 +136,18 @@ def _cluster_kwargs(args) -> dict:
                              "baselines cannot edit installed templates)")
         kwargs["rebalance"] = True
         kwargs["rebalance_threshold"] = args.rebalance_threshold
+    if getattr(args, "autoscale", False):
+        if args.system != "nimbus":
+            raise SystemExit("--autoscale requires --system nimbus (the "
+                             "baselines cannot re-home installed templates "
+                             "onto provisioned workers)")
+        kwargs["autoscale"] = True
+        if getattr(args, "autoscale_interval", None) is not None:
+            kwargs["autoscale_interval"] = args.autoscale_interval
+        if getattr(args, "autoscale_cold_start", None) is not None:
+            kwargs["autoscale_cold_start"] = args.autoscale_cold_start
+        if getattr(args, "autoscale_max_workers", None) is not None:
+            kwargs["autoscale_max_workers"] = args.autoscale_max_workers
     if getattr(args, "trace", False):
         if args.system != "nimbus":
             raise SystemExit("--trace requires --system nimbus (the "
@@ -452,6 +481,50 @@ def cmd_rebalance(args) -> None:
     print(render_table("straggler recovery", ["metric", "value"], rows))
 
 
+def cmd_autoscale(args) -> None:
+    from .perf.scale_bench import run_scale_step
+
+    result = run_scale_step(
+        num_workers=args.workers,
+        iterations=args.iterations,
+        seed=args.seed,
+        step=args.step,
+        step_iteration=args.step_iteration,
+        interval=args.interval,
+        cold_start=args.cold_start,
+    )
+    direction = "up" if result["step"] > 1.0 else "down"
+    print(f"scale step: {result['workers']} workers, "
+          f"{result['iterations']} iterations, {result['step']}x demand "
+          f"step after iteration {result['step_iteration']} "
+          f"(scale {direction})")
+    rows = [
+        ["reconciliation interval (ms)", f"{result['interval'] * 1000:.2f}"],
+        ["cold start (ms)", f"{result['cold_start'] * 1000:.2f}"],
+        ["pre-step iteration (ms)",
+         f"{result['pre_step_iteration_time'] * 1000:.2f}"],
+        ["final iteration (ms)",
+         "-" if result["final_iteration_time"] is None
+         else f"{result['final_iteration_time'] * 1000:.2f}"],
+        ["time to stable (ms)",
+         "no decisions" if result["time_to_stable"] is None
+         else f"{result['time_to_stable'] * 1000:.2f}"],
+        ["ticks to stable",
+         "-" if result["ticks_to_stable"] is None
+         else str(result["ticks_to_stable"])],
+        ["workers final", str(result["workers_final"])],
+        ["workers added", str(result["workers_added"])],
+        ["workers drained", str(result["workers_drained"])],
+        ["spread moves", str(result["spread_moves"])],
+        ["decisions", str(result["decisions"])],
+        ["mechanisms", ", ".join(result["mechanisms"]) or "-"],
+        ["zero loss", str(result.get("zero_loss", "-"))],
+        ["converged", str(result["converged"])],
+    ]
+    print(render_table("demand-step reconciliation", ["metric", "value"],
+                       rows))
+
+
 def cmd_serve(args) -> None:
     from .perf.serve_bench import run_job_arrival
 
@@ -589,6 +662,26 @@ def build_parser() -> argparse.ArgumentParser:
     reb.add_argument("--off", action="store_true",
                      help="control run: leave the rebalancer disabled")
     reb.set_defaults(fn=cmd_rebalance)
+
+    autos = sub.add_parser(
+        "autoscale", help="demand-step reconciliation: inject a scripted "
+                          "demand step mid-run and let the elastic "
+                          "autoscaler re-stabilize the cluster")
+    autos.add_argument("--workers", type=int, default=16)
+    autos.add_argument("--iterations", type=int, default=40)
+    autos.add_argument("--seed", type=int, default=0)
+    autos.add_argument("--step", type=float, default=2.0,
+                       help="demand multiplier (>1 scales up, <1 drains; "
+                            "default 2.0)")
+    autos.add_argument("--step-iteration", type=int, default=12,
+                       help="inject the demand step after this iteration")
+    autos.add_argument("--interval", type=float, default=None, metavar="S",
+                       help="reconciliation tick period (default: the "
+                            "probe run's pre-step mean iteration time)")
+    autos.add_argument("--cold-start", type=float, default=None, metavar="S",
+                       help="worker provisioning delay "
+                            "(default: 4 intervals)")
+    autos.set_defaults(fn=cmd_autoscale)
 
     serve = sub.add_parser(
         "serve", help="multi-tenant serving: seeded Poisson job arrivals "

@@ -55,6 +55,13 @@ class NimbusCluster:
         max_concurrent_jobs: int = 4,
         job_queue_cap: int = 16,
         mode: str = "centralized",
+        autoscale: bool = False,
+        autoscale_interval: float = 0.25,
+        autoscale_cold_start: float = 1.0,
+        autoscale_policy=None,
+        autoscale_target_load: Optional[float] = None,
+        autoscale_min_workers: Optional[int] = None,
+        autoscale_max_workers: Optional[int] = None,
     ):
         if mode not in ("centralized", "decentralized"):
             raise ValueError(
@@ -82,6 +89,9 @@ class NimbusCluster:
         self.costs = costs or PAPER_COSTS
         self.registry = registry or FunctionRegistry()
         self.storage = DurableStorage()
+        self.slots_per_worker = slots_per_worker
+        self._use_compiled = use_compiled
+        self._hb_interval: Optional[float] = None
 
         self.controller = Controller(
             self.sim, self.costs, self.metrics,
@@ -147,8 +157,57 @@ class NimbusCluster:
             for worker in self.workers.values():
                 worker.report_task_times = True
 
+        # Elastic autoscaling (opt-in): a reconciliation loop provisions
+        # and drains workers from the load EWMA. The loop is pure
+        # observation until a decision trips, so autoscale=True on a
+        # steady run leaves virtual results bit-identical (DESIGN.md §15).
+        self.autoscaler = None
+        if autoscale:
+            from ..scale import ResourceController, TargetUtilizationPolicy
+            policy = autoscale_policy
+            if policy is None:
+                policy = TargetUtilizationPolicy(
+                    target_load=autoscale_target_load,
+                    min_workers=autoscale_min_workers or 1,
+                    max_workers=autoscale_max_workers or 4 * num_workers,
+                )
+            self.autoscaler = ResourceController(
+                self, policy, interval=autoscale_interval,
+                cold_start=autoscale_cold_start)
+            self.autoscaler.start()
+
         if chaos_plan is not None:
             chaos_plan.apply_scripted(self.sim, self.network, self.workers)
+
+    def provision_worker(self) -> Worker:
+        """Build, attach, and wire one new simulated worker (scale-up).
+
+        The worker joins the shared peer dict immediately (data-plane
+        reachable, and in scope for scripted demand events) but is *not*
+        yet schedulable: the controller learns of it only when the
+        autoscaler's cold start elapses and ``Controller.add_worker``
+        runs. Its task-duration scale starts at the chaos plan's ambient
+        demand level, so late joiners feel the same demand as everyone.
+        """
+        wid = max(self.workers) + 1 if self.workers else 0
+        scale = 1.0
+        if self.chaos_plan is not None:
+            scale = self.chaos_plan.ambient_demand_scale(self.sim.now)
+        worker = Worker(
+            self.sim, wid, self.controller, self.registry, self.costs,
+            self.metrics, self.storage, slots=self.slots_per_worker,
+            duration_scale=scale, use_compiled=self._use_compiled,
+        )
+        worker.peers = self.workers
+        self.network.attach(worker)
+        self.workers[wid] = worker
+        if self.tracer is not None:
+            worker._trace = self.tracer
+        if self.rebalancer is not None:
+            worker.report_task_times = True
+        if self._hb_interval is not None:
+            worker.start_heartbeats(self._hb_interval)
+        return worker
 
     @property
     def job(self) -> Optional[Job]:
@@ -182,6 +241,7 @@ class NimbusCluster:
     def start_fault_tolerance(self, heartbeat_interval: float = 0.5,
                               check_interval: float = 1.0) -> None:
         """Enable heartbeats and the controller failure detector."""
+        self._hb_interval = heartbeat_interval
         for worker in self.workers.values():
             worker.start_heartbeats(heartbeat_interval)
         self.controller.start_failure_detector(check_interval)

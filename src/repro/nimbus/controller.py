@@ -157,6 +157,9 @@ class Controller(P.ReliableEndpoint, Actor):
         #: trigger a re-install instead of edits (§2.3)
         self.edit_threshold = edit_threshold
         self._patch_cache_cap = patch_cache_cap
+        #: evictions may never shrink the live set below this floor (the
+        #: autoscaler raises it to its policy's min_workers)
+        self.min_live_workers = 1
 
         self.workers: Dict[int, Actor] = {}
         self.live_workers: Set[int] = set()
@@ -1094,10 +1097,36 @@ class Controller(P.ReliableEndpoint, Actor):
         """
         self._require_quiesced()
         evicted_set = set(evicted)
+        # every precondition is checked before any state mutates: a failed
+        # eviction must leave placements, templates, and the live set
+        # exactly as they were (no partially drained cluster to unpick)
+        unknown = sorted(evicted_set - self.live_workers)
+        if unknown:
+            raise RuntimeError(
+                f"cannot evict workers {unknown}: not in the live set "
+                f"{sorted(self.live_workers)} (never attached, already "
+                f"evicted, or failed); no state was changed")
         survivors = sorted(self.live_workers - evicted_set)
         if not survivors:
-            raise RuntimeError("cannot evict every worker")
+            raise RuntimeError(
+                f"cannot evict every worker: evicting "
+                f"{sorted(evicted_set)} would leave the live set empty "
+                f"with nowhere to re-home their objects and tasks; no "
+                f"state was changed")
+        if len(survivors) < self.min_live_workers:
+            raise RuntimeError(
+                f"cannot evict workers {sorted(evicted_set)}: "
+                f"{len(survivors)} survivor(s) {survivors} would fall "
+                f"below the minimum live worker count "
+                f"{self.min_live_workers}; no state was changed")
         self.live_workers -= evicted_set
+        # worker-set churn is explicit: load signals for departed workers
+        # die with them, so no placement or scaling policy ever books
+        # load onto a dead worker, and min_samples warmup-gates arrivals
+        for w in sorted(evicted_set):
+            self.load_tracker.drop_worker(w)
+            if self.rebalancer is not None:
+                self.rebalancer.drop_worker(w)
         for job_id in sorted(self.jobs):
             ctx = self.jobs[job_id]
             rr = 0
@@ -1138,6 +1167,56 @@ class Controller(P.ReliableEndpoint, Actor):
                     self._regenerate_worker_templates(ctx, block_id)
             ctx.validation_state.invalidate()
         self.bump_partition_epoch()
+
+    def on_worker_dead(self, worker_id: int) -> None:
+        """A worker died ungracefully (crash fault, forced removal).
+
+        Unlike :meth:`evict_workers` — which requires quiesced jobs —
+        death cannot wait for a window boundary: an outstanding
+        self-schedule grant expecting the dead worker would never drain,
+        wedging every future partition-map change. So the order is:
+        reclaim the dead worker's granted-but-unfinished window
+        participation from every job's policy (making the jobs
+        quiescable), stop retransmitting to it, then re-home its objects
+        and tasks through the normal eviction path. Data the dead worker
+        solely held is *not* resurrected — checkpoint recovery is the
+        data-loss story; this call restores schedulability.
+        """
+        if worker_id not in self.live_workers:
+            return
+        for job_id in sorted(self.jobs):
+            ctx = self.jobs[job_id]
+            if ctx.policy is not None:
+                ctx.policy.drop_worker(worker_id)
+        self._failed_workers.add(worker_id)
+        self.evict_workers([worker_id])
+
+    def add_worker(self, worker_id: int, actor: Actor) -> None:
+        """A provisioned worker finished cold start: join the live set.
+
+        The worker becomes schedulable for every job — future object
+        definitions may place on it, and :meth:`migrate_tasks` may edit
+        tasks onto it (worker template halves ship lazily on first use
+        via ``_install_worker_halves``). Joining moves nothing by
+        itself: an autoscaler that adds a worker and never migrates work
+        onto it leaves the run's dataflow untouched.
+        """
+        if worker_id in self.live_workers:
+            raise ValueError(f"worker {worker_id} is already live")
+        self.workers[worker_id] = actor
+        self.live_workers.add(worker_id)
+        self._failed_workers.discard(worker_id)
+        self._last_heartbeat[worker_id] = self.sim.now
+        for ctx in self.jobs.values():
+            order = ctx.placement.workers
+            if worker_id not in order:
+                order.append(worker_id)
+                ctx.placement.set_workers(order)
+        # late joiners missed earlier epoch broadcasts; sync before any
+        # window is granted to them or they would stall immediately
+        if self._decentralized_active() and self.pm_epoch:
+            self.send_reliable(actor, P.EpochUpdate(self.pm_epoch))
+        self.metrics.incr("scale.workers_added")
 
     def restore_workers(self, restored: List[int],
                         placement_snapshot: Dict[int, int],
@@ -1280,9 +1359,11 @@ class Controller(P.ReliableEndpoint, Actor):
         run.outstanding -= 1
         run.compute_by_worker[msg.worker_id] = (
             run.compute_by_worker.get(msg.worker_id, 0.0) + msg.compute_time)
-        if self.rebalancer is not None:
+        if self.rebalancer is not None and msg.worker_id in self.live_workers:
             # pure observation: no charge, no metrics, no RNG — a run with
-            # the rebalancer enabled but no skew stays bit-identical
+            # the rebalancer enabled but no skew stays bit-identical.
+            # Departed workers are filtered: a straggling completion from
+            # an already-evicted worker must not resurrect its EWMA entry
             self.rebalancer.observe_instance(
                 run.ctx, msg.block_id, msg.version, msg.worker_id,
                 msg.compute_time, msg.task_times)
@@ -1305,9 +1386,12 @@ class Controller(P.ReliableEndpoint, Actor):
                         compute=compute, results=dict(run.results))
         ctx.results_history.append((run.block_id, dict(run.results)))
         # pure bookkeeping for cross-job placement: dict folds only, no
-        # charge, no RNG — the virtual timeline is untouched
+        # charge, no RNG — the virtual timeline is untouched. Departed
+        # workers are filtered so a run that straddled an eviction does
+        # not resurrect the evicted worker's load signal
         for worker, compute_time in run.compute_by_worker.items():
-            self.load_tracker.observe(worker, compute_time, {})
+            if worker in self.live_workers:
+                self.load_tracker.observe(worker, compute_time, {})
         self.send_reliable(ctx.driver, P.BlockComplete(
             run.block_id, run.seq, dict(run.results), run.request_id))
         if (self.rebalancer is not None and run.mode == "template"
@@ -1377,6 +1461,10 @@ class Controller(P.ReliableEndpoint, Actor):
         self._recovering = True
         self._failed_workers |= set(dead)
         self.live_workers -= set(dead)
+        for w in sorted(dead):
+            self.load_tracker.drop_worker(w)
+            if self.rebalancer is not None:
+                self.rebalancer.drop_worker(w)
         # in-flight blocks are abandoned and replayed. The halt wipes every
         # job's worker-side queues, so all runs are dropped (recovery is a
         # cluster-wide stop-the-world; serve mode does not enable it)

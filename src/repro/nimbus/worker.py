@@ -231,6 +231,13 @@ class Worker(P.ReliableEndpoint, Actor):
 
         self._epoch = 0  # bumped on halt; stale completions are dropped
         self._dead = False
+        #: autoscaler lifecycle: "live" → "draining" (evicted from
+        #: scheduling, finishing in-flight commands) → "drained"
+        #: (decommissioned: no queued work, no open grants). Purely
+        #: observational — the scheduling revocation itself is the
+        #: controller's evict_workers; a drained worker stays reachable
+        #: so late acks and copy reads never dangle.
+        self.lifecycle = "live"
         self.tasks_executed = 0
         #: why the next _on_ready fired: None (ready at enqueue),
         #: ("cmd", cid) or ("data", tag). Written only when tracing; read

@@ -8,11 +8,14 @@ no ``charge()``, no messages, no RNG draws — a traced run's virtual results
 are bit-identical to an untraced run (enforced by property tests).
 
 Span categories: ``handler`` (actor message/timer handlers), ``template``
-(generate/install/instantiate/validate/patch), and ``rebalance`` — one
+(generate/install/instantiate/validate/patch), ``rebalance`` — one
 ``rebalance.decision`` span per adaptive-rebalancer decision (see
 :mod:`repro.sched`), carrying the move count and the mechanism used
 (``edits``/``reinstall``/``reassign``) so straggler reactions show up on
-the controller row of the exported timeline.
+the controller row of the exported timeline — and ``scale`` — one
+``scale.decision`` instant per autoscaler action (scale_up/join/spread/
+scale_down/evict/drained, see :mod:`repro.scale`) on the dedicated
+``autoscaler`` row.
 
 Overhead discipline
 -------------------

@@ -79,7 +79,15 @@ from ..sim.engine import Simulator
 #: must be bit-identical across modes. The crossover acceptance — fewer
 #: controller messages per task and strictly better wall clock for the
 #: decentralized mode at 1000 workers — gates on these rows.
-SCHEMA_VERSION = 7
+#: v8 adds the ``scale_step`` section (DESIGN.md §15): the elastic
+#: autoscaler driven by a scripted 2x demand step at 10/100/1000 workers
+#: (8 at small scale), recording time-to-stable (virtual seconds from
+#: the step to the reconciliation loop's last decision), the
+#: ticks-to-stable bound it must beat, workers added/drained, the spread
+#: mechanisms used (template edits/reinstalls — never a job restart),
+#: and a zero-loss check against a fixed-size control run with the same
+#: step (equal executed-task counts, identical results digest).
+SCHEMA_VERSION = 8
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -509,6 +517,16 @@ REBALANCE_SCALES = {"paper": (16, 40), "small": (8, 30)}
 #: job_arrival configuration per scale (workers, jobs)
 SERVE_SCALES = {"paper": (16, 9), "small": (8, 6)}
 
+#: scale-step configuration per scale: (workers, partitions_per_worker,
+#: iterations, step_iteration) rows. Paper scale spans the strong-scaling
+#: range 10/100/1000; iteration counts shrink (and partitions thin) as
+#: worker counts grow to keep the host time of the tripled run set
+#: (probe + autoscaled + control) bounded.
+SCALE_STEP_SCALES = {
+    "paper": [(10, 4, 40, 12), (100, 4, 24, 8), (1000, 2, 16, 6)],
+    "small": [(8, 4, 30, 10)],
+}
+
 
 def rebalance_section(scale: str) -> Dict[str, Any]:
     """Automated-fig09 straggler recovery: rebalancer on vs off control."""
@@ -523,6 +541,23 @@ def rebalance_section(scale: str) -> Dict[str, Any]:
         "wall_seconds": round(time.perf_counter() - t0, 3),
         "auto": auto,
         "control": control,
+    }
+
+
+def scale_step_section(scale: str) -> Dict[str, Any]:
+    """Elastic autoscaling: 2x demand step at each scale-step row."""
+    from .scale_bench import run_scale_step
+
+    t0 = time.perf_counter()
+    rows = [run_scale_step(num_workers=workers,
+                           partitions_per_worker=ppw,
+                           iterations=iterations,
+                           step_iteration=step_iteration)
+            for workers, ppw, iterations, step_iteration
+            in SCALE_STEP_SCALES[scale]]
+    return {
+        "wall_seconds": round(time.perf_counter() - t0, 3),
+        "rows": rows,
     }
 
 
@@ -596,6 +631,7 @@ def run_harness(scale: str = "paper",
         "scheduling_modes": scheduling_modes_section(scale),
         "rebalance": rebalance_section(scale),
         "serve": serve_section(scale),
+        "scale_step": scale_step_section(scale),
     }
     if microbench:
         report["microbenchmarks"] = run_microbenchmarks()

@@ -1,0 +1,21 @@
+"""Elastic autoscaling: desired-state reconciliation over template edits.
+
+The paper's Fig. 10 argument is that template edits make cluster
+membership changes cheap enough to perform mid-run; this package closes
+that loop (ROADMAP item 1). A :class:`ResourceController` reconciles the
+desired worker count — computed by a pluggable :class:`ScalePolicy` from
+the controller's cross-job :class:`~repro.sched.rebalance.LoadTracker`
+EWMA — against the actual live set, provisioning simulated workers (with
+a cold-start delay) on scale-up and draining them through
+``evict_workers``' patch-relocation path on scale-down. See DESIGN.md
+§15.
+"""
+
+from .controller import ResourceController
+from .policy import ScalePolicy, TargetUtilizationPolicy
+
+__all__ = [
+    "ResourceController",
+    "ScalePolicy",
+    "TargetUtilizationPolicy",
+]

@@ -66,6 +66,13 @@ class SchedulingPolicy:
         """Self-schedule grants in flight (0 = quiesced, map may change)."""
         return 0
 
+    def drop_worker(self, worker: int) -> None:
+        """Reclaim a dead worker's share of any outstanding grant.
+
+        No-op for policies that hold no worker-resident granted state
+        (the centralized path tracks completions per command, and a dead
+        worker's loss surfaces through recovery, not through grants)."""
+
     def reset(self) -> None:
         """Drop in-flight policy state (recovery or job release)."""
 
@@ -268,6 +275,12 @@ class DecentralizedPolicy(SchedulingPolicy):
         if grant is None or grant.window_id != msg.window_id:
             c.metrics.incr("self_schedule.orphan_summaries")
             return
+        if msg.worker_id not in grant.expected:
+            # a summary from a worker already folded out of this window
+            # (finished, or reclaimed by drop_worker after its death) —
+            # refolding its rows would double-decrement run accounting
+            c.metrics.incr("self_schedule.orphan_summaries")
+            return
         # one coarse completion per summary plus the per-row folds — the
         # same rates the centralized completion path charges
         c.charge(c.costs.controller_block_completion)
@@ -278,11 +291,12 @@ class DecentralizedPolicy(SchedulingPolicy):
             if run is None:
                 continue
             run.outstanding -= 1
+            run.expected_workers.discard(msg.worker_id)
             if finished_at > grant.ends.get(block_seq, 0.0):
                 grant.ends[block_seq] = finished_at
             run.compute_by_worker[msg.worker_id] = (
                 run.compute_by_worker.get(msg.worker_id, 0.0) + compute_time)
-            if c.rebalancer is not None:
+            if c.rebalancer is not None and msg.worker_id in c.live_workers:
                 c.rebalancer.observe_instance(
                     ctx, grant.block_id, grant.version, msg.worker_id,
                     compute_time, task_times)
@@ -298,6 +312,43 @@ class DecentralizedPolicy(SchedulingPolicy):
         grant.expected.discard(msg.worker_id)
         if not grant.expected:
             self._finish_window(grant)
+
+    def drop_worker(self, worker: int) -> None:
+        """Abort the outstanding grant after a participant died.
+
+        A ``SelfScheduleWindow`` is granted state the dead worker can no
+        longer act on — and the *survivors* cannot finish it either:
+        their in-flight instances wait on data the dead worker will
+        never produce, so the window's natural boundary is unreachable.
+        Before this fix, ``grant.expected`` retained the dead worker
+        forever: the window never closed, its runs' command ids were
+        orphaned, and :meth:`Controller._require_quiesced` wedged every
+        future partition-map change (evict, migrate, autoscaler drain)
+        behind a quiesce that could not arrive.
+
+        The abort reclaims every granted-but-unreported instance
+        participation and drops the window's runs *without* completing
+        them to the driver: this restores schedulability — it does not
+        fabricate results for work that was lost. With checkpointing on,
+        recovery replays the window; without, the driver honestly never
+        hears those iterations finish. Late summaries from survivors hit
+        the orphan guard in :meth:`on_window_summary`.
+        """
+        grant = self._grant
+        if grant is None or worker not in grant.expected:
+            return
+        c = self.controller
+        reclaimed = 0
+        for seq in grant.seqs:
+            run = c.runs.pop(seq, None)
+            if run is None:
+                continue
+            reclaimed += len(run.expected_workers)
+        self._grant = None
+        c.metrics.incr("self_schedule.reclaimed_instances", reclaimed)
+        c.metrics.incr("self_schedule.aborted_windows")
+        # do NOT pump the queue: later windows read this one's lost
+        # outputs; recovery (or job teardown) decides what runs next
 
     def _regrant(self, worker: int) -> None:
         """Re-issue a stalled worker's remaining instances under the
@@ -341,7 +392,8 @@ class DecentralizedPolicy(SchedulingPolicy):
                             results=dict(run.results))
             ctx.results_history.append((run.block_id, dict(run.results)))
             for worker, compute_time in run.compute_by_worker.items():
-                c.load_tracker.observe(worker, compute_time, {})
+                if worker in c.live_workers:
+                    c.load_tracker.observe(worker, compute_time, {})
             items.append((run.block_id, run.seq, dict(run.results),
                           run.request_id, grant.ends.get(seq, c.sim.now)))
         self._grant = None
@@ -351,6 +403,18 @@ class DecentralizedPolicy(SchedulingPolicy):
         if (c.rebalancer is not None and not c._recovering
                 and not c._checkpointing):
             c.rebalancer.maybe_rebalance(ctx, grant.block_id)
+        # ... and the checkpoint boundary: mirror _finish_block's
+        # per-block accounting, which this batched completion path used
+        # to skip entirely — a decentralized job-0 run never accumulated
+        # _blocks_since_checkpoint, so checkpointing silently never
+        # engaged and any worker crash was unrecoverable
+        if ctx is c._job0 and len(items):
+            c._blocks_since_checkpoint += len(items)
+            if (c.checkpoint_every is not None
+                    and c._blocks_since_checkpoint >= c.checkpoint_every
+                    and not c.runs and not c._checkpointing
+                    and not c._recovering):
+                c._start_checkpoint()
         self._pump()
         c._drain_dispatch_queue()
 

@@ -67,6 +67,19 @@ class LoadTracker:
         """Fewest instances observed across ``workers`` (0 if any unseen)."""
         return min((self.samples.get(w, 0) for w in workers), default=0)
 
+    def drop_worker(self, worker: int) -> None:
+        """Forget a departed worker's EWMA state (eviction, crash, drain).
+
+        Worker-set churn is explicit: departed workers are dropped here so
+        no policy ever books load onto a dead worker, and arrivals are
+        warmup-gated naturally — an unseen worker keeps
+        :meth:`min_samples` at 0 until it has reported real instances.
+        Per-task durations (``task_time``) are keyed by controller-template
+        index, not worker, so they survive the churn.
+        """
+        self.load.pop(worker, None)
+        self.samples.pop(worker, None)
+
     def reset(self) -> None:
         self.load.clear()
         self.samples.clear()
@@ -220,6 +233,15 @@ class Rebalancer:
     def attach(self, controller) -> None:
         self.controller = controller
         controller.rebalancer = self
+
+    def drop_worker(self, worker: int) -> None:
+        """Forget a departed worker across every per-block tracker.
+
+        Mirrors :meth:`LoadTracker.drop_worker` for the rebalancer's own
+        per-``(job, block)`` trackers, so a proposal computed after an
+        eviction can never pick a dead worker as a migration source."""
+        for tracker in self.trackers.values():
+            tracker.drop_worker(worker)
 
     # -- observe -------------------------------------------------------
     def observe_instance(self, ctx, block_id: str, version: int, worker: int,

@@ -101,6 +101,26 @@ def test_serve_accepts_mode(capsys):
     assert "job_arrival" in capsys.readouterr().out
 
 
+def test_autoscale_subcommand_reports_reconciliation(capsys):
+    assert main(["autoscale", "--workers", "8", "--iterations", "30",
+                 "--step-iteration", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "demand-step reconciliation" in out
+    assert "time to stable" in out
+    assert "zero loss" in out
+
+
+def test_lr_accepts_autoscale_flag(capsys):
+    assert main(["lr", "--workers", "4", "--iterations", "6",
+                 "--autoscale"]) == 0
+    assert "logistic regression" in capsys.readouterr().out
+
+
+def test_autoscale_flag_requires_nimbus():
+    with pytest.raises(SystemExit, match="nimbus"):
+        main(["lr", "--workers", "4", "--system", "spark", "--autoscale"])
+
+
 def test_profile_unknown_workload_is_a_described_error():
     with pytest.raises(SystemExit) as excinfo:
         main(["profile", "--workload", "fig99_nope",

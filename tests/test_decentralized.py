@@ -208,6 +208,65 @@ def test_epoch_bump_stalls_and_resumes_without_changing_values():
     assert computed_values(cluster) == baseline
 
 
+def test_crashed_worker_releases_outstanding_window():
+    """Regression (autoscaler bugfix 1): a worker crash-faulted while it
+    holds part of an outstanding self-schedule window must have its
+    granted-but-unfinished instances reclaimed. Before the fix the window
+    never closed — the controller waited forever on summaries from the
+    dead worker, ``outstanding_grants()`` stayed pinned at 1, and every
+    partition-map change (eviction, migration, autoscaler drain) wedged
+    on ``_require_quiesced``."""
+    from repro.apps import LRApp, LRSpec
+    spec = LRSpec(num_workers=4, iterations=24, partitions_per_worker=4)
+    app = LRApp(spec)
+    cluster = NimbusCluster(4, app.program(blocking=False),
+                            registry=app.registry, seed=0,
+                            mode="decentralized")
+    ctrl = cluster.controller
+    state = {}
+
+    def crash():
+        policy = ctrl.jobs[0].policy
+        state["grants_before"] = policy.outstanding_grants()
+        cluster.workers[3].fail()
+        ctrl.on_worker_dead(3)
+        state["grants_after"] = policy.outstanding_grants()
+
+    cluster.sim.schedule_at(0.5, crash)
+    # data on the dead worker is unrecoverable without a checkpoint, so
+    # the program cannot finish — but the control plane must not wedge:
+    # run the event horizon dry and inspect the reclaim.
+    cluster.driver.start()
+    cluster.sim.run(until=30.0)
+    assert state["grants_before"] == 1, "no window in flight at crash time"
+    assert state["grants_after"] == 0, "crash left the window outstanding"
+    assert 3 not in ctrl.live_workers
+    assert cluster.metrics.count("self_schedule.reclaimed_instances") > 0
+    # eviction re-homed the dead worker's template entries: nothing in
+    # the current controller template still targets worker 3
+    ctx = ctrl.jobs[0]
+    for block_id, template in ctx.templates.items():
+        workers = {entry.worker for entry in template.entries}
+        assert 3 not in workers, f"{block_id} still targets the dead worker"
+
+
+def test_decentralized_checkpoints_actually_commit():
+    """Regression (autoscaler bugfix 1, second half): the window-summary
+    completion path skipped the per-block checkpoint accounting, so a
+    decentralized run with ``checkpoint_every`` set never committed a
+    checkpoint (count stayed 0 before the fix) and crash recovery had
+    nothing to restart from.
+
+    40 iterations split into two windows (window_size=32), so the first
+    window boundary — the only checkpointable quiesce point — lands
+    mid-run and the checkpoint commits while the second window runs."""
+    cluster = run_lr(iterations=40, mode="decentralized",
+                     checkpoint_every=4)
+    assert cluster.metrics.count("checkpoints_committed") > 0
+    assert computed_values(cluster) == computed_values(
+        run_lr(iterations=40, checkpoint_every=4))
+
+
 def test_wait_queued_job_window_respects_dispatch_fifo():
     """Regression: a decentralized job admitted from the wait queue into
     a busy serve cluster reaches steady state while its own capture

@@ -15,6 +15,11 @@ scenario it was found under:
    crashed on an internal lookup instead of failing descriptively (no
    template at all) or falling back to a plain reassignment (template
    captured, worker halves not yet generated).
+
+Plus the lifecycle bugs the elastic autoscaler (DESIGN.md §15) flushed
+out: the load EWMA retained entries for departed workers and had no
+arrival gating, and ``evict_workers`` could mutate state before
+rejecting an impossible eviction.
 """
 
 import pytest
@@ -171,3 +176,109 @@ def test_migrate_before_worker_templates_falls_back_to_reassign():
     version = cluster.controller.current_version["iter"]
     wts = cluster.controller.worker_templates[("iter", version)]
     assert wts.task_locations[0][0] == 1
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler-flushed lifecycle bugs: load-signal churn (bug 2) and
+# evict_workers preconditions (bug 3)
+# ---------------------------------------------------------------------------
+def test_load_tracker_forgets_departed_and_gates_arrivals():
+    """Regression (autoscaler bugfix 2, unit): the load EWMA must follow
+    worker-set churn. Before the fix a departed worker's entries lived
+    forever — any policy summing ``tracker.load`` over stale keys booked
+    load onto dead workers — and there was no arrival story at all."""
+    from repro.sched.rebalance import LoadTracker
+
+    tracker = LoadTracker()
+    for w in (0, 1, 2):
+        for _ in range(3):
+            tracker.observe(w, 1.0, {})
+    assert tracker.min_samples([0, 1, 2]) == 3
+    tracker.drop_worker(2)
+    assert 2 not in tracker.load
+    assert 2 not in tracker.samples
+    # an arrival has no signal yet: min_samples pins the whole set at 0,
+    # so sample-gated policies wait for real post-change observations
+    assert tracker.min_samples([0, 1, 3]) == 0
+
+
+def test_eviction_drops_load_signal_for_departed_workers():
+    """Regression (autoscaler bugfix 2, integration): a mid-run eviction
+    followed by continued rebalancer observation leaves no EWMA entry —
+    controller-wide or per-block — for the departed worker."""
+    from repro.apps import LRApp, LRSpec
+
+    spec = LRSpec(num_workers=4, iterations=16, partitions_per_worker=4)
+    app = LRApp(spec)
+    cluster = NimbusCluster(4, app.program(blocking=False),
+                            registry=app.registry, seed=0, rebalance=True)
+    ctrl = cluster.controller
+    state = {}
+
+    def evict():
+        state["had_signal"] = 3 in ctrl.load_tracker.load
+        ctrl.evict_workers([3])
+        state["after_evict"] = dict(ctrl.load_tracker.load)
+
+    cluster.sim.schedule_at(2.0, evict)
+    cluster.run_until_finished(max_seconds=1e6)
+    assert state["had_signal"], "no load signal for worker 3 before evict"
+    assert 3 not in state["after_evict"]
+    # ... and the signal never came back, even though the run (and the
+    # rebalancer's per-block observation) continued for many iterations
+    assert set(ctrl.load_tracker.load) <= ctrl.live_workers
+    assert set(ctrl.load_tracker.samples) <= ctrl.live_workers
+    for tracker in cluster.rebalancer.trackers.values():
+        assert set(tracker.load) <= ctrl.live_workers
+
+
+def _evict_snapshot(controller):
+    return (set(controller.live_workers),
+            controller.snapshot_placement(),
+            controller.snapshot_versions())
+
+
+def test_evict_unknown_worker_raises_before_mutating():
+    """Regression (autoscaler bugfix 3): every evict_workers precondition
+    failure must be descriptive and must fire before any state mutates."""
+    def evict(controller):
+        before = _evict_snapshot(controller)
+        with pytest.raises(RuntimeError) as exc:
+            controller.evict_workers([0, 7])
+        assert "not in the live set" in str(exc.value)
+        assert "no state was changed" in str(exc.value)
+        assert _evict_snapshot(controller) == before
+
+    cluster = run_with_directives(8, directive_at=4, directive=evict)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+
+
+def test_evict_full_live_set_raises_before_mutating():
+    def evict(controller):
+        before = _evict_snapshot(controller)
+        with pytest.raises(RuntimeError) as exc:
+            controller.evict_workers([0, 1])
+        assert "cannot evict every worker" in str(exc.value)
+        assert _evict_snapshot(controller) == before
+
+    cluster = run_with_directives(8, directive_at=4, directive=evict)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+
+
+def test_evict_below_minimum_raises_before_mutating():
+    """The autoscaler's policy floor (min_live_workers) applies to manual
+    evictions too, and failing it mutates nothing."""
+    def evict(controller):
+        controller.min_live_workers = 2
+        before = _evict_snapshot(controller)
+        with pytest.raises(RuntimeError) as exc:
+            controller.evict_workers([1])
+        assert "minimum live worker count" in str(exc.value)
+        assert _evict_snapshot(controller) == before
+        controller.min_live_workers = 1  # let the run finish unharmed
+
+    cluster = run_with_directives(8, directive_at=4, directive=evict)
+    expected = reference(8)
+    assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
