@@ -182,28 +182,35 @@ def test_strong_scaling_fig07_at_1000_holds_fidelity(report):
 
 
 def _mode_pairs(section):
-    """Yield (workload, workers, centralized row, decentralized row)."""
+    """Yield (workload, workers, centralized, decentralized, sharded).
+
+    The sharded row is ``None`` for pre-v9 sections (committed files
+    written before the third mode existed)."""
     for workload, rows in section.items():
         by_key = {(r["workers"], r["mode"]): r for r in rows}
         for n in sorted({r["workers"] for r in rows}):
             yield (workload, n, by_key[(n, "centralized")],
-                   by_key[(n, "decentralized")])
+                   by_key[(n, "decentralized")],
+                   by_key.get((n, "sharded")))
 
 
 def test_scheduling_modes_hold_parity(report):
-    """Schema v7: at every compared worker count, both scheduling modes
-    compute the exact same results (digest over the per-block history),
-    execute the same tasks, and the decentralized controller sees ≤20%
-    of the centralized steady-state messages per task (the ISSUE gate;
-    measured ~7% at fig07@100)."""
+    """Schema v9: at every compared worker count, all three scheduling
+    modes compute the exact same results (digest over the per-block
+    history) and execute the same tasks; the decentralized controller
+    sees ≤20% of the centralized steady-state messages per task (the v7
+    gate; measured ~7% at fig07@100) and the sharded coordinator sees
+    strictly less than either."""
     section = report["scheduling_modes"]
     assert section.keys() == {"fig07_lr", "fig08_kmeans"}
-    for workload, n, cent, dec in _mode_pairs(section):
+    for workload, n, cent, dec, shd in _mode_pairs(section):
         where = f"{workload}@{n}"
-        assert dec["results_digest"] == cent["results_digest"], \
-            f"{where}: computed values diverged across modes"
-        assert dec["tasks"] == cent["tasks"], \
-            f"{where}: task counts diverged across modes"
+        assert shd is not None, f"{where}: no sharded row in a v9 report"
+        for other, label in ((dec, "decentralized"), (shd, "sharded")):
+            assert other["results_digest"] == cent["results_digest"], \
+                f"{where}: {label} computed values diverged"
+            assert other["tasks"] == cent["tasks"], \
+                f"{where}: {label} task count diverged"
         assert cent["steady_controller_messages_per_task"] > 0, where
         ratio = (dec["steady_controller_messages_per_task"]
                  / cent["steady_controller_messages_per_task"])
@@ -212,24 +219,37 @@ def test_scheduling_modes_hold_parity(report):
             f"{ratio:.1%} of centralized — gate is 20%")
         assert dec["controller_messages_per_task"] < \
             cent["controller_messages_per_task"], where
+        # the shards absorb the window fan-out/fan-in, so the sharded
+        # coordinator must beat even the decentralized controller
+        assert shd["steady_controller_messages_per_task"] < \
+            dec["steady_controller_messages_per_task"], \
+            f"{where}: sharded coordinator not below decentralized"
+        assert shd["controller_messages_per_task"] < \
+            cent["controller_messages_per_task"], \
+            f"{where}: sharded coordinator not below centralized"
+        assert shd["shards"] and shd["shards"] >= 2, where
 
 
 def test_scheduling_mode_crossover(report):
-    """Schema v7 acceptance: the decentralized mode beats the
-    centralized controller where the paper's wall stands — at the
-    scale's largest compared count its steady messages per task are ≥5x
-    fewer, its steady iteration time (virtual) is strictly better, and
-    at 1000 workers its wall clock (min over interleaved reps) is
-    strictly better too."""
+    """Schema v9 acceptance: where the paper's wall stands — the scale's
+    largest compared count — decentralized steady messages per task are
+    ≥5x fewer than centralized, and at 1000 workers its virtual
+    iteration time and wall clock (min over interleaved reps) are
+    strictly better. The sharded mode must collapse coordinator traffic
+    below centralized everywhere and keep wall clock within 10% of
+    decentralized at 1000 workers (ISSUE gate)."""
     section = report["scheduling_modes"]
     largest = max(MODE_SCALES[SCALE])
-    for workload, n, cent, dec in _mode_pairs(section):
+    for workload, n, cent, dec, shd in _mode_pairs(section):
         if n != largest:
             continue
         where = f"{workload}@{n}"
         assert dec["steady_controller_messages_per_task"] <= \
             cent["steady_controller_messages_per_task"] / 5.0, \
             f"{where}: <5x steady message reduction"
+        assert shd["controller_messages_per_task"] < \
+            cent["controller_messages_per_task"], \
+            f"{where}: sharded messages per task not below centralized"
         if n >= 1000:
             # below ~1000 workers compute, not the controller, bounds the
             # iteration — the timing crossover is a large-scale property
@@ -239,6 +259,9 @@ def test_scheduling_mode_crossover(report):
             assert dec["wall_seconds"] < cent["wall_seconds"], (
                 f"{where}: decentralized wall {dec['wall_seconds']}s vs "
                 f"centralized {cent['wall_seconds']}s — no crossover")
+            assert shd["wall_seconds"] <= 1.10 * dec["wall_seconds"], (
+                f"{where}: sharded wall {shd['wall_seconds']}s vs "
+                f"decentralized {dec['wall_seconds']}s — >10% worse")
 
 
 def test_no_events_per_second_regression_vs_committed(report):
@@ -269,7 +292,7 @@ def test_engine_throughput_floor_vs_committed(report):
     committed = load_bench(bench_path(REPO_ROOT))
     if committed is None or SCALE not in committed.get("scales", {}):
         pytest.skip(f"no committed BENCH numbers for scale {SCALE!r} yet")
-    if committed.get("schema_version") not in (6, 7, 8):
+    if committed.get("schema_version") not in (6, 7, 8, 9):
         # v6 changed the measurement itself (fresh simulator per chunk —
         # the old shared simulator inflated the rate), so pre-v6 numbers
         # are not comparable
@@ -387,26 +410,37 @@ def test_committed_paper_crossover_is_recorded():
     ≥5x fewer steady controller messages per task, with bit-identical
     results digests."""
     committed = load_bench(bench_path(REPO_ROOT))
-    if (committed is None or committed.get("schema_version") not in (7, 8)
+    if (committed is None or committed.get("schema_version") not in (7, 8, 9)
             or "paper" not in committed.get("scales", {})):
         pytest.skip("no committed v7+ paper-scale BENCH numbers yet")
     section = committed["scales"]["paper"]["scheduling_modes"]
-    for workload, n, cent, dec in _mode_pairs(section):
+    for workload, n, cent, dec, shd in _mode_pairs(section):
         assert dec["results_digest"] == cent["results_digest"], \
             f"{workload}@{n}: committed digests diverge across modes"
+        if shd is not None:
+            assert shd["results_digest"] == cent["results_digest"], \
+                f"{workload}@{n}: committed sharded digest diverges"
         if n >= 1000:
             assert dec["wall_seconds"] < cent["wall_seconds"], \
                 f"{workload}@{n}: committed rows show no wall crossover"
             assert dec["steady_controller_messages_per_task"] <= \
                 cent["steady_controller_messages_per_task"] / 5.0, \
                 f"{workload}@{n}: committed rows show <5x reduction"
+            if shd is not None:
+                assert shd["controller_messages_per_task"] < \
+                    cent["controller_messages_per_task"], \
+                    f"{workload}@{n}: committed sharded rows show no " \
+                    f"coordinator-message collapse"
+                assert shd["wall_seconds"] <= 1.10 * dec["wall_seconds"], \
+                    f"{workload}@{n}: committed sharded wall >10% worse " \
+                    f"than decentralized"
 
 
 def test_bench_file_is_updated_last(report):
     """Rewrite BENCH_control_plane.json with this run (runs after the
     regression gate has compared against the committed copy)."""
     doc = write_bench(report, bench_path(REPO_ROOT))
-    assert doc["schema_version"] == 8
+    assert doc["schema_version"] == 9
     assert SCALE in doc["scales"]
     assert "strong_scaling" in doc["scales"][SCALE]
     assert "scheduling_modes" in doc["scales"][SCALE]

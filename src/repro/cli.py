@@ -59,12 +59,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--system", choices=sorted(SYSTEMS), default="nimbus",
                         help="control plane to run under")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--mode", choices=("centralized", "decentralized"),
+    parser.add_argument("--mode",
+                        choices=("centralized", "decentralized", "sharded"),
                         default="centralized",
                         help="scheduling mode: 'centralized' is the "
                              "paper's per-instance control plane; "
                              "'decentralized' grants windows that workers "
-                             "self-schedule (DESIGN.md §14); nimbus only")
+                             "self-schedule (DESIGN.md §14); 'sharded' "
+                             "relays those windows through controller "
+                             "shards so the coordinator leaves the "
+                             "steady-state path (§16); nimbus only")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="controller shard count for --mode sharded "
+                             "(default: min(16, max(2, sqrt(workers))))")
     parser.add_argument("--chaos-profile", choices=sorted(PROFILES),
                         default=None, metavar="PROFILE",
                         help="inject network faults from a stock plan "
@@ -119,9 +126,13 @@ def _cluster_kwargs(args) -> dict:
         kwargs["patch_cache_cap"] = args.patch_cache_cap
     if getattr(args, "mode", "centralized") != "centralized":
         if args.system != "nimbus":
-            raise SystemExit("--mode decentralized requires --system nimbus "
+            raise SystemExit(f"--mode {args.mode} requires --system nimbus "
                              "(the baselines have no self-scheduling path)")
         kwargs["mode"] = args.mode
+    if getattr(args, "shards", None) is not None:
+        if getattr(args, "mode", "centralized") != "sharded":
+            raise SystemExit("--shards requires --mode sharded")
+        kwargs["shards"] = args.shards
     if getattr(args, "chaos_profile", None):
         if args.system != "nimbus":
             raise SystemExit(
@@ -484,6 +495,8 @@ def cmd_rebalance(args) -> None:
 def cmd_autoscale(args) -> None:
     from .perf.scale_bench import run_scale_step
 
+    if args.shards is not None and args.mode != "sharded":
+        raise SystemExit("--shards requires --mode sharded")
     result = run_scale_step(
         num_workers=args.workers,
         iterations=args.iterations,
@@ -492,10 +505,13 @@ def cmd_autoscale(args) -> None:
         step_iteration=args.step_iteration,
         interval=args.interval,
         cold_start=args.cold_start,
+        mode=args.mode,
+        shards=args.shards,
     )
     direction = "up" if result["step"] > 1.0 else "down"
     print(f"scale step: {result['workers']} workers, "
-          f"{result['iterations']} iterations, {result['step']}x demand "
+          f"{result['iterations']} iterations ({result['mode']}), "
+          f"{result['step']}x demand "
           f"step after iteration {result['step_iteration']} "
           f"(scale {direction})")
     rows = [
@@ -528,6 +544,8 @@ def cmd_autoscale(args) -> None:
 def cmd_serve(args) -> None:
     from .perf.serve_bench import run_job_arrival
 
+    if args.shards is not None and args.mode != "sharded":
+        raise SystemExit("--shards requires --mode sharded")
     result = run_job_arrival(
         num_workers=args.workers,
         num_jobs=args.jobs,
@@ -538,6 +556,7 @@ def cmd_serve(args) -> None:
         queue_cap=args.queue_cap,
         dispatch_inflight_cap=args.dispatch_cap,
         mode=args.mode,
+        shards=args.shards,
     )
     print(f"job_arrival: {result['jobs']} jobs over {result['workers']} "
           f"workers (concurrency cap {result['max_concurrent']}, queue cap "
@@ -681,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
     autos.add_argument("--cold-start", type=float, default=None, metavar="S",
                        help="worker provisioning delay "
                             "(default: 4 intervals)")
+    autos.add_argument("--mode",
+                       choices=("centralized", "decentralized", "sharded"),
+                       default="centralized",
+                       help="scheduling mode the stepped run uses")
+    autos.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="controller shard count for --mode sharded")
     autos.set_defaults(fn=cmd_autoscale)
 
     serve = sub.add_parser(
@@ -690,9 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=6,
                        help="number of scheduled job arrivals")
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--mode", choices=("centralized", "decentralized"),
+    serve.add_argument("--mode",
+                       choices=("centralized", "decentralized", "sharded"),
                        default="centralized",
                        help="scheduling mode every admitted job runs under")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="controller shard count for --mode sharded")
     serve.add_argument("--mean-interarrival", type=float, default=0.05,
                        metavar="S",
                        help="mean Poisson interarrival gap in virtual "
@@ -728,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--workers", type=int, default=100)
     profile.add_argument("--iterations", type=int, default=14)
     profile.add_argument("--mode",
-                         choices=("centralized", "decentralized"),
+                         choices=("centralized", "decentralized", "sharded"),
                          default="centralized",
                          help="scheduling mode to profile under")
     profile.add_argument("--sort", choices=("cumulative", "tottime"),

@@ -55,6 +55,7 @@ class NimbusCluster:
         max_concurrent_jobs: int = 4,
         job_queue_cap: int = 16,
         mode: str = "centralized",
+        shards: Optional[int] = None,
         autoscale: bool = False,
         autoscale_interval: float = 0.25,
         autoscale_cold_start: float = 1.0,
@@ -63,10 +64,10 @@ class NimbusCluster:
         autoscale_min_workers: Optional[int] = None,
         autoscale_max_workers: Optional[int] = None,
     ):
-        if mode not in ("centralized", "decentralized"):
+        if mode not in ("centralized", "decentralized", "sharded"):
             raise ValueError(
                 f"unknown scheduling mode {mode!r}; "
-                f"choose 'centralized' or 'decentralized'")
+                f"choose 'centralized', 'decentralized', or 'sharded'")
         self.mode = mode
         self.sim = Simulator()
         self.metrics = Metrics()
@@ -118,6 +119,19 @@ class NimbusCluster:
         for worker in self.workers.values():
             worker.peers = self.workers
         self.controller.attach_workers(self.workers)
+
+        # Controller shards (DESIGN.md §16) are always built — passive
+        # actors cost nothing until a sharded job routes traffic through
+        # them, and any cluster can then submit_job(mode="sharded").
+        from .shard import ControllerShard, default_shard_count
+        self.num_shards = shards or default_shard_count(num_workers)
+        self.shards: Dict[int, ControllerShard] = {}
+        for sid in range(self.num_shards):
+            shard = ControllerShard(self.sim, sid, self.controller,
+                                    self.costs, self.metrics)
+            self.network.attach(shard)
+            self.shards[sid] = shard
+        self.controller.attach_shards(self.shards)
 
         self.default_use_templates = use_templates
         if program is not None:
@@ -223,9 +237,9 @@ class NimbusCluster:
                    mode: Optional[str] = None) -> JobRecord:
         """Admit (or queue) a job under its own namespace; see JobManager.
 
-        ``mode`` picks the job's scheduling policy (centralized or
-        decentralized), defaulting to the cluster-wide mode — co-scheduled
-        jobs may mix modes freely.
+        ``mode`` picks the job's scheduling policy (centralized,
+        decentralized, or sharded), defaulting to the cluster-wide
+        mode — co-scheduled jobs may mix modes freely.
         """
         if use_templates is None:
             use_templates = self.default_use_templates

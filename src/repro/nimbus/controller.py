@@ -64,11 +64,12 @@ from . import protocol as P
 #: of central dispatch and template installation.
 _STEADY_IN = frozenset((
     P.InstantiateBlock, P.InstantiateWindow,
-    P.InstanceComplete, P.WindowSummary,
+    P.InstanceComplete, P.WindowSummary, P.ShardWindowSummary,
 ))
 _STEADY_OUT = frozenset((
     P.InstantiateWorkerTemplate, P.SelfScheduleWindow,
     P.BlockComplete, P.BlockCompleteBatch, P.EpochUpdate,
+    P.ShardWindow, P.ShardRegrant,
 ))
 
 
@@ -163,6 +164,24 @@ class Controller(P.ReliableEndpoint, Actor):
 
         self.workers: Dict[int, Actor] = {}
         self.live_workers: Set[int] = set()
+        #: controller shards (sharded mode, DESIGN.md §16): shard id ->
+        #: ControllerShard actor. Attached by the cluster; empty is fine
+        #: as long as no job runs mode="sharded".
+        self.shards: Dict[int, Actor] = {}
+        #: workers the autoscaler is draining (DRAINING lifecycle): still
+        #: live — in-flight work finishes, channels stay open — but no
+        #: *new* placement may target them (new-job registration, spread
+        #: planning). Maintained by scale.ResourceController.
+        self.draining_workers: Set[int] = set()
+        #: reverse causal barrier for sharded fan-in: highest reliable
+        #: sequence handled per sender (actor name). A shard-relayed
+        #: WindowSummary carries the worker→coordinator sequence it must
+        #: not overtake (``ctrl_seq``); summaries arriving early park in
+        #: ``_barrier_summaries`` until the worker's direct stream
+        #: catches up — otherwise a window's blocks could complete at
+        #: the driver before an earlier centrally-dispatched block.
+        self._handled_seq: Dict[str, int] = {}
+        self._barrier_summaries: List[Tuple[int, P.WindowSummary]] = []
 
         # per-job state: job 0 is the legacy single-driver job, sharing the
         # controller's metrics object (the bit-identity seam — every
@@ -251,6 +270,19 @@ class Controller(P.ReliableEndpoint, Actor):
         self.live_workers = set(workers)
         self._job0.placement = PartitionPlacement(sorted(workers))
 
+    def attach_shards(self, shards: Dict[int, Actor]) -> None:
+        self.shards = dict(shards)
+
+    def shard_of(self, worker_id: int) -> int:
+        """The shard owning a worker: fixed modulo partitioning, so a
+        worker's owner never moves as workers join and leave."""
+        if not self.shards:
+            raise RuntimeError(
+                "mode='sharded' needs controller shards; build the "
+                "cluster through NimbusCluster (which always attaches "
+                "them) or call attach_shards() first")
+        return worker_id % len(self.shards)
+
     def register_job(self, job_id: int, driver, metrics: Metrics,
                      weight: float = 1.0,
                      mode: Optional[str] = None) -> JobContext:
@@ -259,6 +291,11 @@ class Controller(P.ReliableEndpoint, Actor):
         Placement reuses the cross-job :class:`LoadTracker`: the job's
         round-robin starts at the currently least-loaded worker, so
         concurrent jobs spread instead of piling onto worker 0.
+
+        DRAINING workers are excluded: a job admitted from the wait
+        queue while the autoscaler drains a worker used to land
+        partitions on it — work placed on a node that is on its way out
+        of the cluster (serve+autoscale regression).
         """
         if job_id in self.jobs:
             raise ValueError(f"job {job_id} is already registered")
@@ -266,7 +303,9 @@ class Controller(P.ReliableEndpoint, Actor):
             job_id, driver=driver, metrics=metrics, weight=weight,
             patch_cache=PatchCache(capacity=self._patch_cache_cap,
                                    metrics=metrics))
-        order = sorted(self.live_workers)
+        order = sorted(self.live_workers - self.draining_workers)
+        if not order:
+            order = sorted(self.live_workers)
         if order:
             start = min(order, key=lambda w: (
                 self.load_tracker.load.get(w, 0.0), w))
@@ -291,6 +330,8 @@ class Controller(P.ReliableEndpoint, Actor):
         if ctx is None:
             return
         self._dispatch_queue.drop_job(job_id)
+        self._barrier_summaries = [(j, s) for j, s in self._barrier_summaries
+                                   if j != job_id]
         for seq in [s for s, run in self.runs.items() if run.ctx is ctx]:
             del self.runs[seq]
         per_worker: Dict[int, List[int]] = {}
@@ -304,6 +345,14 @@ class Controller(P.ReliableEndpoint, Actor):
             self.send_reliable(self.workers[worker],
                                P.ReleaseJob(job_id,
                                             per_worker.get(worker, [])))
+        # close any sharded window state *before* late summaries can
+        # arrive: shards holding fan-in for the dead job's windows would
+        # otherwise wait forever on workers that just dropped their
+        # grants (release-mid-window regression)
+        if ctx.policy is not None and ctx.policy.mode == "sharded":
+            for shard_id in sorted(self.shards):
+                self.send_reliable(self.shards[shard_id],
+                                   P.ShardAbort(job_id, None))
         self.metrics.incr("jobs_released")
         self._drain_dispatch_queue()
 
@@ -350,6 +399,8 @@ class Controller(P.ReliableEndpoint, Actor):
         self.metrics.incr("controller.messages_in")
         if type(msg) in _STEADY_IN:
             self.metrics.incr("controller.steady_messages_in")
+        if msg.rel_seq is not None:
+            self._handled_seq[msg.rel_src] = msg.rel_seq
         if isinstance(msg, P.CommandComplete):
             self._on_command_complete(msg)
         elif isinstance(msg, P.CommandCompleteBatch):
@@ -372,6 +423,14 @@ class Controller(P.ReliableEndpoint, Actor):
             ctx = self._ctx_of(msg)
             if ctx is not None:
                 ctx.policy.on_window_summary(msg)
+        elif isinstance(msg, P.ShardWindowSummary):
+            # orphan guard first: a released job's shards may still have
+            # aggregates in flight — drop them whole, never fold rows
+            # into a namespace that no longer exists
+            ctx = self._ctx_of(msg)
+            if ctx is not None:
+                for summary in msg.summaries:
+                    self._fold_or_park_summary(msg.job_id, summary)
         elif isinstance(msg, P.DefineObjects):
             ctx = self._ctx_of(msg)
             if ctx is not None:
@@ -392,6 +451,46 @@ class Controller(P.ReliableEndpoint, Actor):
             msg.action(self)
         else:
             raise TypeError(f"controller got unexpected message {msg!r}")
+        if self._barrier_summaries:
+            # the message above may have been the last direct message a
+            # parked shard-relayed summary was stamped against
+            self._replay_barrier_summaries()
+
+    def _fold_or_park_summary(self, job_id: int,
+                              summary: P.WindowSummary) -> None:
+        """Fold a shard-relayed per-worker summary, or park it until the
+        worker's direct stream catches up to ``ctrl_seq`` (the reverse
+        causal barrier — see ``_barrier_summaries``)."""
+        worker = self.workers.get(summary.worker_id)
+        if (worker is not None
+                and summary.ctrl_seq > self._handled_seq.get(worker.name, 0)):
+            self._barrier_summaries.append((job_id, summary))
+            self.metrics.incr("self_schedule.summary_barrier_deferrals")
+            return
+        ctx = self.jobs.get(job_id)
+        if ctx is not None:
+            ctx.policy.on_window_summary(summary)
+
+    def _summary_barrier_met(self, summary: P.WindowSummary) -> bool:
+        worker = self.workers.get(summary.worker_id)
+        if worker is None or summary.worker_id in self._failed_workers:
+            # the direct stream will never catch up; release the summary
+            # and let the policy's stale-window guards judge it
+            return True
+        return summary.ctrl_seq <= self._handled_seq.get(worker.name, 0)
+
+    def _replay_barrier_summaries(self) -> None:
+        ready = [(j, s) for j, s in self._barrier_summaries
+                 if self._summary_barrier_met(s)]
+        if not ready:
+            return
+        self._barrier_summaries = [
+            (j, s) for j, s in self._barrier_summaries
+            if not self._summary_barrier_met(s)]
+        for job_id, summary in ready:
+            ctx = self.jobs.get(job_id)
+            if ctx is not None:  # released while parked: drop whole
+                ctx.policy.on_window_summary(summary)
 
     # ------------------------------------------------------------------
     # Object definition
@@ -928,8 +1027,10 @@ class Controller(P.ReliableEndpoint, Actor):
     # Partition-map epochs (decentralized mode, DESIGN.md §14)
     # ------------------------------------------------------------------
     def _decentralized_active(self) -> bool:
+        """Any job scheduling through self-schedule windows — both the
+        decentralized and sharded modes need epoch broadcasts."""
         return any(ctx.policy is not None
-                   and ctx.policy.mode == "decentralized"
+                   and ctx.policy.mode in ("decentralized", "sharded")
                    for ctx in self.jobs.values())
 
     def bump_partition_epoch(self) -> None:
@@ -1189,7 +1290,11 @@ class Controller(P.ReliableEndpoint, Actor):
             if ctx.policy is not None:
                 ctx.policy.drop_worker(worker_id)
         self._failed_workers.add(worker_id)
+        self.draining_workers.discard(worker_id)  # death outruns the drain
         self.evict_workers([worker_id])
+        if self._barrier_summaries:
+            # summaries parked behind the dead worker's stream unblock now
+            self._replay_barrier_summaries()
 
     def add_worker(self, worker_id: int, actor: Actor) -> None:
         """A provisioned worker finished cold start: join the live set.

@@ -291,14 +291,16 @@ class Driver(P.ReliableEndpoint, Actor):
     def _windowable(self, block: BlockSpec) -> bool:
         """Can this submission join a self-schedule window?
 
-        Only installed blocks under templates in decentralized mode: the
-        pre-install staircase and the central path stay byte-identical to
-        centralized mode. Windowed submissions bypass the ``max_inflight``
-        backlog — the controller's policy serializes whole windows instead
-        (one grant in flight per job) — but still count as outstanding so
-        ``drain`` keeps its barrier semantics.
+        Only installed blocks under templates in a window-granting mode
+        (decentralized or sharded): the pre-install staircase and the
+        central path stay byte-identical to centralized mode. Windowed
+        submissions bypass the ``max_inflight`` backlog — the
+        controller's policy serializes whole windows instead (one grant
+        in flight per job) — but still count as outstanding so ``drain``
+        keeps its barrier semantics.
         """
-        return (self.mode == "decentralized" and self.use_templates
+        return (self.mode in ("decentralized", "sharded")
+                and self.use_templates
                 and block.block_id in self._installed)
 
     def _flush_window(self) -> None:

@@ -23,6 +23,14 @@ Three pieces make that hold:
   most ``max_concurrent`` jobs hold a driver at once, at most
   ``queue_cap`` wait behind them, and overflow is rejected loudly
   (:class:`JobRejected`) rather than queued unboundedly.
+
+Each job also carries its own scheduling mode (``mode=`` on submit,
+defaulting to the cluster's): centralized per-instance dispatch,
+decentralized self-scheduled windows (DESIGN.md §14), or sharded —
+windows relayed through controller shards so the coordinator stays off
+the steady-state path entirely (§16). Tenants of different modes
+co-schedule freely; admission, placement, and release go through the
+coordinator regardless of mode.
 """
 
 from __future__ import annotations

@@ -277,6 +277,8 @@ class SelfScheduleWindow(Message):
         instances,
         job_id: int = 0,
         edits=None,
+        reply_to=None,
+        barrier_seq: int = 0,
     ):
         # instances: [(instance_id, cid_base, block_seq, params)]
         self.window_id = window_id
@@ -286,6 +288,16 @@ class SelfScheduleWindow(Message):
         self.instances = instances
         self.job_id = job_id
         self.edits = edits or []
+        # sharded mode: actor name the WindowSummary goes back to (the
+        # owning shard); None sends it to the coordinator as before
+        self.reply_to = reply_to
+        # sharded mode: the coordinator→worker channel sequence this
+        # window must not overtake. A shard-relayed window travels a
+        # different channel than the coordinator's own dispatch stream,
+        # so without this causal barrier it could start instance N+1
+        # before the (retransmitting) central dispatch of instance N has
+        # even arrived. 0 means no barrier (decentralized mode).
+        self.barrier_seq = barrier_seq
         self.size_bytes = PARAM_BLOCK_BYTES * max(1, len(instances))
 
 
@@ -424,7 +436,8 @@ class WindowSummary(Message):
     """
 
     def __init__(self, worker_id: int, window_id: int, rows,
-                 job_id: int = 0, stalled: bool = False, next_index: int = 0):
+                 job_id: int = 0, stalled: bool = False, next_index: int = 0,
+                 ctrl_seq: int = 0):
         # rows: [(instance_id, block_seq, compute_time, values, task_times,
         #         finished_at)] — finished_at is the worker-local completion
         # time, so block-end statistics stay honest even though the
@@ -435,8 +448,75 @@ class WindowSummary(Message):
         self.job_id = job_id
         self.stalled = stalled
         self.next_index = next_index
+        # sharded mode: the worker→coordinator channel sequence this
+        # summary must not overtake (the reverse causal barrier — a
+        # shard-relayed summary must not be folded before the worker's
+        # earlier direct completions have been handled). 0 = no barrier.
+        self.ctrl_seq = ctrl_seq
         self.size_bytes = 64 + sum(32 * len(values)
                                    for _i, _s, _c, values, _t, _f in rows)
+
+
+# ---------------------------------------------------------------------------
+# coordinator ↔ controller shard (sharded mode, DESIGN.md §16)
+# ---------------------------------------------------------------------------
+class ShardWindow(Message):
+    """One shard's slice of a self-schedule window (coordinator → shard).
+
+    ``grants`` is ``[(worker_id, SelfScheduleWindow)]`` for exactly the
+    workers this shard owns. The shard relays each inner window to its
+    worker on its own control thread — the coordinator pays one message
+    per *shard* instead of one per worker, which is the entire point of
+    the mode.
+    """
+
+    def __init__(self, window_id: int, grants, job_id: int = 0):
+        self.window_id = window_id
+        self.grants = grants
+        self.job_id = job_id
+        self.size_bytes = 32 + sum(win.size_bytes for _w, win in grants)
+
+
+class ShardWindowSummary(Message):
+    """Aggregated window progress for one shard (shard → coordinator).
+
+    ``summaries`` carries the raw per-worker :class:`WindowSummary`
+    messages the shard collected; the coordinator folds them exactly as
+    it would have folded the direct stream. A stalled summary is
+    forwarded immediately (alone) so the re-grant is not delayed behind
+    the shard's other workers.
+    """
+
+    def __init__(self, shard_id: int, window_id: int, summaries,
+                 job_id: int = 0):
+        self.shard_id = shard_id
+        self.window_id = window_id
+        self.summaries = summaries
+        self.job_id = job_id
+        self.size_bytes = 32 + sum(s.size_bytes for s in summaries)
+
+
+class ShardRegrant(Message):
+    """Re-grant a stalled worker's window remainder via its shard."""
+
+    def __init__(self, worker_id: int, window, job_id: int = 0):
+        self.worker_id = worker_id
+        self.window = window  # SelfScheduleWindow for the remainder
+        self.job_id = job_id
+        self.size_bytes = 16 + window.size_bytes
+
+
+class ShardAbort(Message):
+    """Drop a shard's window state (worker death or job release).
+
+    ``window_id=None`` drops every window of ``job_id`` — the release
+    path's bulk form.
+    """
+
+    def __init__(self, job_id: int, window_id=None):
+        self.job_id = job_id
+        self.window_id = window_id
+        self.size_bytes = 16
 
 
 class Heartbeat(Message):
@@ -544,6 +624,12 @@ class ReliableEndpoint:
         self._rel_wheel: List[Tuple[float, str, int]] = []
         self._rel_wake = None  # pending engine Event, if armed
         self._rel_wake_time = float("inf")
+
+    def channel_seq(self, dst_name: str) -> int:
+        """Last sequence number sent to ``dst_name`` on this endpoint's
+        reliable channel — the causal-barrier stamp for messages that
+        travel a *different* channel but must not overtake this one."""
+        return self._rel_send_seq.get(dst_name, 0)
 
     # -- sender side ---------------------------------------------------
     def send_reliable(self, dst, msg: Message) -> None:

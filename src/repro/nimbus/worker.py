@@ -93,9 +93,10 @@ class _WorkerGrant:
     """
 
     __slots__ = ("key", "block_id", "version", "half", "instances", "next",
-                 "active", "rows", "epoch", "stalled")
+                 "active", "rows", "epoch", "stalled", "reply_to")
 
-    def __init__(self, key, block_id, version, half, instances, epoch):
+    def __init__(self, key, block_id, version, half, instances, epoch,
+                 reply_to=None):
         self.key = key  # (job_id, window_id)
         self.block_id = block_id
         self.version = version
@@ -106,6 +107,9 @@ class _WorkerGrant:
         self.rows: List[Tuple] = []
         self.epoch = epoch  # partition-map epoch the grant was issued under
         self.stalled = False
+        #: actor name the WindowSummary returns to (sharded mode: the
+        #: owning shard); None means the controller
+        self.reply_to = reply_to
 
 
 class Worker(P.ReliableEndpoint, Actor):
@@ -197,6 +201,19 @@ class Worker(P.ReliableEndpoint, Actor):
 
         #: self-schedule grants in flight, keyed (job_id, window_id)
         self._grants: Dict[Tuple[int, int], _WorkerGrant] = {}
+        #: shard-relayed windows that outran their template install on
+        #: the direct controller channel, keyed (job_id, block_id,
+        #: version); started the moment the install lands
+        self._deferred_windows: Dict[Tuple[int, str, int],
+                                     List[P.SelfScheduleWindow]] = {}
+        #: shard-relayed windows held behind their causal barrier: the
+        #: coordinator stamped each with the controller→worker channel
+        #: sequence it must not overtake (``barrier_seq``), and the
+        #: window starts only once every earlier direct message has been
+        #: *handled* (not merely delivered)
+        self._barrier_windows: List[P.SelfScheduleWindow] = []
+        #: highest controller-channel sequence this worker has handled
+        self._ctrl_handled_seq = 0
         #: last partition-map epoch observed (EpochUpdate broadcasts);
         #: distinct from ``_epoch``, the local halt generation below
         self._pm_epoch = 0
@@ -255,6 +272,8 @@ class Worker(P.ReliableEndpoint, Actor):
     def handle(self, msg: Message) -> None:
         if self._dead:
             return
+        if msg.rel_seq is not None and msg.rel_src == self.controller.name:
+            self._ctrl_handled_seq = msg.rel_seq
         if isinstance(msg, P.DataMessage):
             self._on_data(msg)
         elif isinstance(msg, P.DispatchCommand):
@@ -266,7 +285,12 @@ class Worker(P.ReliableEndpoint, Actor):
         elif isinstance(msg, P.SelfScheduleWindow):
             self._on_self_schedule(msg)
         elif isinstance(msg, P.EpochUpdate):
-            self._pm_epoch = msg.epoch
+            # monotone accept: with sharded relays (and churn-window
+            # retransmits) epoch signals arrive over more than one
+            # channel, so an older update can land after a newer one —
+            # regressing here would wrongly stall re-granted windows
+            if msg.epoch > self._pm_epoch:
+                self._pm_epoch = msg.epoch
         elif isinstance(msg, P.InstallWorkerTemplate):
             self._on_install_template(msg)
         elif isinstance(msg, P.InstallPatch):
@@ -289,6 +313,22 @@ class Worker(P.ReliableEndpoint, Actor):
             self._on_halt()
         else:
             raise TypeError(f"worker got unexpected message {msg!r}")
+        if self._barrier_windows:
+            # the message above may have been the last one a parked
+            # shard-relayed window was stamped against — replaying *after*
+            # the dispatch restores the handled-order the decentralized
+            # single channel gives for free
+            self._replay_barrier_windows()
+
+    def _replay_barrier_windows(self) -> None:
+        ready = [w for w in self._barrier_windows
+                 if w.barrier_seq <= self._ctrl_handled_seq]
+        if not ready:
+            return
+        self._barrier_windows = [w for w in self._barrier_windows
+                                 if w.barrier_seq > self._ctrl_handled_seq]
+        for window in ready:
+            self._on_self_schedule(window)
 
     # ------------------------------------------------------------------
     # Central dispatch path
@@ -334,6 +374,12 @@ class Worker(P.ReliableEndpoint, Actor):
             self._trace.instant(self.name, "template", "template.install",
                                 block_id=msg.block_id, version=msg.version,
                                 entries=len(entries))
+        # start any shard-relayed window that arrived before this install
+        deferred = self._deferred_windows.pop(
+            (msg.job_id, msg.block_id, msg.version), None)
+        if deferred:
+            for window in deferred:
+                self._on_self_schedule(window)
 
     def _on_instantiate_template(self, msg: P.InstantiateWorkerTemplate) -> None:
         key = (msg.block_id, msg.instance_id)
@@ -599,14 +645,25 @@ class Worker(P.ReliableEndpoint, Actor):
         dependency machinery — they complete without executing their task
         bodies (see :meth:`_task_finished`), so pipelines never wedge and
         no task ever touches the destroyed data.
+
+        Windows close *first*: with the grants (and any deferred
+        windows) gone before the objects are destroyed, the draining
+        commands can no longer self-advance a fresh instance of the dead
+        job or emit a WindowSummary for it — the release-mid-window
+        race this ordering used to leave open.
         """
         self._released_jobs.add(msg.job_id)
+        for key in [k for k in self._grants if k[0] == msg.job_id]:
+            del self._grants[key]  # in-flight instances drain body-less
+        for key in [k for k in self._deferred_windows
+                    if k[0] == msg.job_id]:
+            del self._deferred_windows[key]
+        self._barrier_windows = [w for w in self._barrier_windows
+                                 if w.job_id != msg.job_id]
         for oid in msg.oids:
             self.store.destroy(oid)
         for key in [k for k in self._templates if k[0] == msg.job_id]:
             del self._templates[key]
-        for key in [k for k in self._grants if k[0] == msg.job_id]:
-            del self._grants[key]  # in-flight instances drain body-less
         self.metrics.incr("jobs.worker_releases")
 
     def _body_released(self, cmd: Command) -> bool:
@@ -1067,8 +1124,34 @@ class Worker(P.ReliableEndpoint, Actor):
         if key in self._grants:
             self._stale()  # redelivered grant: already being consumed
             return
+        if msg.job_id in self._released_jobs:
+            # a shard-relayed window crossing a ReleaseJob on the direct
+            # controller channel: the job is dead here — dropping the
+            # grant (instead of the pre-fix KeyError on the scrubbed
+            # template) closes the release-mid-window race; the
+            # controller-side abort already cleaned up the fan-in
+            self.metrics.incr("self_schedule.released_window_drops")
+            return
+        if msg.barrier_seq > self._ctrl_handled_seq:
+            # shard-relayed window outran the coordinator's own dispatch
+            # stream (different channels): park it until every direct
+            # message it was stamped against has been handled, or
+            # instances would register into the conflict tracker ahead
+            # of the centrally-dispatched instances they depend on
+            self._barrier_windows.append(msg)
+            self.metrics.incr("self_schedule.barrier_deferrals")
+            return
         half = self._templates.get((msg.job_id, msg.block_id, msg.version))
         if half is None:
+            if msg.reply_to is not None:
+                # sharded relay beat the template install, which rides
+                # the direct controller channel: park the window until
+                # the install lands (impossible in decentralized mode,
+                # where both share one in-order channel)
+                self._deferred_windows.setdefault(
+                    (msg.job_id, msg.block_id, msg.version), []).append(msg)
+                self.metrics.incr("self_schedule.deferred_windows")
+                return
             raise KeyError(
                 f"worker {self.worker_id}: job {msg.job_id} granted a "
                 f"self-schedule window for ({msg.block_id!r}, "
@@ -1079,7 +1162,8 @@ class Worker(P.ReliableEndpoint, Actor):
             half.apply_edit_ops(msg.edits)
             self.charge(self.costs.worker_edit_per_task * len(msg.edits))
         grant = _WorkerGrant(key, msg.block_id, msg.version, half,
-                             msg.instances, msg.epoch)
+                             msg.instances, msg.epoch,
+                             reply_to=msg.reply_to)
         self._grants[key] = grant
         self._advance_grant(grant)
 
@@ -1092,11 +1176,17 @@ class Worker(P.ReliableEndpoint, Actor):
         map stalls the window and the remainder is reported back for the
         controller to re-grant under the new epoch.
         """
+        # a grant is only ever issued at the coordinator's current epoch,
+        # so it may carry proof of an epoch this worker's own EpochUpdate
+        # has not delivered yet (sharded relays re-order the channels):
+        # fold forward, and stall only on a genuinely *stale* grant
+        if grant.epoch > self._pm_epoch:
+            self._pm_epoch = grant.epoch
         instances = grant.instances
         while (grant.active < self.self_schedule_depth
                and grant.next < len(instances)
                and not grant.stalled):
-            if self._pm_epoch != grant.epoch:
+            if self._pm_epoch > grant.epoch:
                 grant.stalled = True
                 self.metrics.incr("self_schedule.stalls")
                 break
@@ -1135,9 +1225,21 @@ class Worker(P.ReliableEndpoint, Actor):
         if self._completion_buffer:
             self._flush_completions()  # keep the in-order channel honest
         job_id, window_id = grant.key
-        self.send_reliable(self.controller, P.WindowSummary(
+        dst = self.controller
+        ctrl_seq = 0
+        if grant.reply_to is not None:
+            # sharded mode: the summary returns to the owning shard; a
+            # shard gone missing (hand-built cluster) falls back to the
+            # controller, whose orphan guard handles it
+            dst = self.network.actors.get(grant.reply_to, self.controller)
+            # reverse causal barrier: the coordinator must not fold this
+            # summary before handling everything this worker already
+            # sent it directly (the completion flush above included)
+            ctrl_seq = self.channel_seq(self.controller.name)
+        self.send_reliable(dst, P.WindowSummary(
             self.worker_id, window_id, grant.rows, job_id=job_id,
             stalled=grant.stalled, next_index=grant.next,
+            ctrl_seq=ctrl_seq,
         ))
 
     # ------------------------------------------------------------------
@@ -1185,6 +1287,8 @@ class Worker(P.ReliableEndpoint, Actor):
         self._expected.clear()
         self._instances.clear()
         self._grants.clear()  # abandoned: recovery re-grants from scratch
+        self._deferred_windows.clear()
+        self._barrier_windows.clear()
         self._completion_buffer.clear()  # stale: their runs were abandoned
         # arenas of abandoned instances: every per-instance field is
         # rewritten on the next acquire, so they can be pooled immediately

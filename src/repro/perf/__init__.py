@@ -9,6 +9,7 @@ catch regressions.
 
 from .harness import (  # noqa: F401
     BENCH_FILENAME,
+    MODE_MODES,
     MODE_SCALES,
     SCALES,
     SCHEMA_VERSION,

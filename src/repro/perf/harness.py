@@ -87,7 +87,16 @@ from ..sim.engine import Simulator
 #: mechanisms used (template edits/reinstalls — never a job restart),
 #: and a zero-loss check against a fixed-size control run with the same
 #: step (equal executed-task counts, identical results digest).
-SCHEMA_VERSION = 8
+#: v9 adds the third scheduling mode (DESIGN.md §16) to the
+#: ``scheduling_modes`` rows: ``sharded`` — N controller shards own the
+#: steady-state window fan-out/fan-in by worker range while the thin
+#: coordinator keeps admission, capture, edits and epoch ownership.
+#: Sharded rows record the shard count, and the acceptance gates extend
+#: the v7 crossover: at the largest scale the sharded mode must move
+#: strictly fewer coordinator messages per task than centralized and its
+#: wall clock must be no worse than decentralized within 10%, with the
+#: same bit-identical results digest across all three modes.
+SCHEMA_VERSION = 9
 BENCH_FILENAME = "BENCH_control_plane.json"
 
 #: worker counts per scale (mirrors benchmarks/: paper-scale figures vs a
@@ -106,6 +115,7 @@ STRONG_SCALING = {"paper": [1000], "small": []}
 #: and how many interleaved repetitions the wall-clock min is taken over.
 MODE_SCALES = {"paper": [100, 1000], "small": [20]}
 MODE_WORKLOADS = ("fig07_lr", "fig08_kmeans")
+MODE_MODES = ("centralized", "decentralized", "sharded")
 MODE_ITERATIONS = 30
 MODE_REPS = 3
 
@@ -240,6 +250,7 @@ def mode_row(workload: str, num_workers: int, mode: str,
     return {
         "workers": num_workers,
         "mode": mode,
+        "shards": cluster.num_shards if mode == "sharded" else None,
         "iterations": iterations,
         "wall_seconds": round(wall, 4),
         "events": cluster.sim.events_run,
@@ -260,10 +271,10 @@ def mode_row(workload: str, num_workers: int, mode: str,
 
 
 def scheduling_modes_section(scale: str) -> Dict[str, Any]:
-    """Centralized vs decentralized, interleaved min-of-N (schema v7).
+    """All three scheduling modes, interleaved min-of-N (schema v9).
 
     Repetitions alternate modes back to back so allocator/collector drift
-    over the section biases neither mode; the wall clock and events/sec
+    over the section biases no mode; the wall clock and events/sec
     of each row are the fastest repetition's, while the virtual fields
     (iteration time, message counts, digest) are deterministic and
     identical across repetitions by construction.
@@ -273,7 +284,7 @@ def scheduling_modes_section(scale: str) -> Dict[str, Any]:
         best: Dict[Tuple[int, str], Dict[str, Any]] = {}
         for n in MODE_SCALES[scale]:
             for _rep in range(MODE_REPS):
-                for mode in ("centralized", "decentralized"):
+                for mode in MODE_MODES:
                     row = mode_row(workload, n, mode)
                     key = (n, mode)
                     if (key not in best

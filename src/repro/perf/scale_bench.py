@@ -38,6 +38,8 @@ def build_scale_step(
     interval: float = 0.25,
     cold_start: float = 1.0,
     trace: Optional[bool] = False,
+    mode: str = "centralized",
+    shards: Optional[int] = None,
 ):
     """Wire the scale-step LR cluster (no step when ``step_at`` is None).
     Shared by the perf harness, the CLI ``autoscale`` subcommand, and the
@@ -56,7 +58,7 @@ def build_scale_step(
         num_workers, app.program(blocking=False), registry=app.registry,
         seed=seed, chaos_plan=plan, autoscale=autoscale,
         autoscale_interval=interval, autoscale_cold_start=cold_start,
-        trace=trace,
+        trace=trace, mode=mode, shards=shards,
     )
     return app, cluster
 
@@ -85,6 +87,8 @@ def run_scale_step(
     cold_start: Optional[float] = None,
     stable_ticks_bound: int = 120,
     control: bool = True,
+    mode: str = "centralized",
+    shards: Optional[int] = None,
 ) -> Dict:
     """Run the scale-step workload and report reconciliation statistics.
 
@@ -123,7 +127,7 @@ def run_scale_step(
         num_workers, iterations, seed=seed,
         partitions_per_worker=partitions_per_worker, step=step,
         step_at=step_at, autoscale=True, interval=interval,
-        cold_start=cold_start)
+        cold_start=cold_start, mode=mode, shards=shards)
     cluster.run_until_finished()
     ends = _iteration_ends(cluster.metrics)
     spacing = [b - a for a, b in zip(ends, ends[1:])]
@@ -147,6 +151,7 @@ def run_scale_step(
         "iterations": iterations,
         "partitions_per_worker": partitions_per_worker,
         "seed": seed,
+        "mode": mode,
         "step": step,
         "step_iteration": step_iteration,
         "step_at": step_at,
@@ -171,7 +176,7 @@ def run_scale_step(
         _, fixed = build_scale_step(
             num_workers, iterations, seed=seed,
             partitions_per_worker=partitions_per_worker, step=step,
-            step_at=step_at)
+            step_at=step_at, mode=mode, shards=shards)
         fixed.run_until_finished()
         report["control_tasks_executed"] = int(
             fixed.metrics.count("tasks_executed"))

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..apps import (
     KMeansApp,
@@ -59,6 +59,7 @@ def build_job_arrival(
     queue_cap: int = 8,
     dispatch_inflight_cap: int = 4,
     mode: str = "centralized",
+    shards: Optional[int] = None,
 ) -> NimbusCluster:
     """Build a serve-mode cluster with ``num_jobs`` scheduled arrivals.
 
@@ -92,7 +93,7 @@ def build_job_arrival(
         max_concurrent_jobs=max_concurrent,
         job_queue_cap=queue_cap,
         dispatch_inflight_cap=dispatch_inflight_cap,
-        mode=mode,
+        mode=mode, shards=shards,
     )
     rng = random.Random(seed)
     arrival = 0.0
@@ -113,6 +114,7 @@ def run_job_arrival(
     queue_cap: int = 8,
     dispatch_inflight_cap: int = 4,
     mode: str = "centralized",
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the arrival workload and report the serving metrics."""
     cluster = build_job_arrival(
@@ -120,6 +122,7 @@ def run_job_arrival(
         mean_interarrival=mean_interarrival, iterations=iterations,
         max_concurrent=max_concurrent, queue_cap=queue_cap,
         dispatch_inflight_cap=dispatch_inflight_cap, mode=mode,
+        shards=shards,
     )
     start = time.perf_counter()
     cluster.run_until_jobs_finished(max_seconds=1e6)

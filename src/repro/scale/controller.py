@@ -139,11 +139,28 @@ class ResourceController:
         for ctx in ctrl.jobs.values():
             if ctx.policy is not None and ctx.policy.outstanding_grants():
                 return
-        targets, self._spread_targets = self._spread_targets, []
+        # never spread onto a DRAINING (or already-evicted) worker: a
+        # join and a scale-down can interleave across ticks, and work
+        # placed on a leaving worker would drain straight back off it
+        # (serve+autoscale regression)
+        targets = [w for w in self._spread_targets
+                   if w in ctrl.live_workers
+                   and w not in ctrl.draining_workers]
+        self._spread_targets = []
+        if not targets:
+            return
         moved = 0
         mechanisms = set()
         for job_id in sorted(ctrl.jobs):
-            ctx = ctrl.jobs[job_id]
+            ctx = ctrl.jobs.get(job_id)
+            if ctx is None:
+                continue  # cancelled since the snapshot above
+            if ctx.policy is not None and ctx.policy.outstanding_grants():
+                # a job admitted from the wait queue after the quiesce
+                # snapshot already holds a window: requeue the targets
+                # and let the next tick retry against a quiesced map
+                self._spread_targets = targets
+                return
             for block_id in sorted(ctx.templates):
                 if ctx.phase.get(block_id, 0) < ctrl.PHASE_CT_READY:
                     continue
@@ -187,7 +204,12 @@ class ResourceController:
         delta is too large for edits anyway.
         """
         template = ctx.templates[block_id]
-        live = sorted(ctrl.live_workers)
+        # DRAINING workers are on their way out: they may be peeled
+        # *from* (their entries relocate at eviction anyway) but never
+        # counted toward the fair share or targeted
+        live = sorted(ctrl.live_workers - ctrl.draining_workers)
+        if not live:
+            return []
         fair = template.num_tasks // len(live)
         if fair <= 0:
             return []
@@ -223,6 +245,10 @@ class ResourceController:
         victims = live[-count:]  # newest first: LIFO membership
         for wid in victims:
             self.cluster.workers[wid].lifecycle = "draining"
+        # publish the DRAINING set on the controller so placement paths
+        # (new-job registration, spread planning) can exclude it while
+        # the victims are still technically live
+        ctrl.draining_workers.update(victims)
         self.draining.extend(victims)
         self.cluster.metrics.incr("scale.down_decisions")
         self._log("scale_down", workers=list(victims), count=len(victims))
@@ -251,6 +277,7 @@ class ResourceController:
                     and worker.queued_commands == 0
                     and not worker._grants):
                 worker.lifecycle = "drained"
+                ctrl.draining_workers.discard(wid)
                 self.cluster.metrics.incr("scale.workers_drained")
                 self._log("drained", workers=[wid])
             else:

@@ -22,9 +22,15 @@ item 2 names, extending the rebalancer's pluggable-policy pattern):
   partition-map epoch bump stalls any straggling grant at its next
   block boundary (the worker-side barrier).
 
+* :class:`ShardedPolicy` — the sharded control plane (DESIGN.md §16).
+  Same decisions as decentralized, but the window fan-out/fan-in is
+  relayed through per-worker-range controller shards: the coordinator
+  pays O(shards) messages per window instead of O(workers), which is
+  what lets partition-map-owning control scale past one node.
+
 Entries that do not auto-validate — the install staircase, blocks
 needing full validation or patches — fall back to the centralized
-per-entry path inside the window, so both modes produce bit-identical
+per-entry path inside the window, so all modes produce bit-identical
 computed values by construction.
 """
 
@@ -251,21 +257,36 @@ class DecentralizedPolicy(SchedulingPolicy):
             return
         ctx.metrics.incr("self_schedule_grants")
         edits_by_worker = ctx.pending_edits.pop(wts.key, {})
+        self._dispatch_grant(grant, wts, edits_by_worker)
+        self._grant = grant
+
+    def _build_window(self, grant: _WindowGrant, worker: int, instances,
+                      entries: int, edits=None) -> P.SelfScheduleWindow:
+        """One worker's granted schedule, with the honest wire size: the
+        sum of the per-instance InstantiateWorkerTemplate messages the
+        grant replaces."""
+        c = self.controller
+        out = P.SelfScheduleWindow(
+            grant.window_id, grant.block_id, grant.version,
+            c.pm_epoch, instances, job_id=self.ctx.job_id, edits=edits)
+        out.size_bytes = ((P.TASK_ID_BYTES * entries + P.PARAM_BLOCK_BYTES)
+                          * max(1, len(instances)))
+        return out
+
+    def _dispatch_grant(self, grant: _WindowGrant, wts,
+                        edits_by_worker) -> None:
+        """Ship the granted windows — one message straight to each
+        worker. The sharded policy overrides this single seam (and the
+        regrant/abort relays below) to route via shards instead."""
+        c = self.controller
         for worker in sorted(grant.per_worker):
             instances = grant.per_worker[worker]
-            out = P.SelfScheduleWindow(
-                grant.window_id, grant.block_id, grant.version,
-                c.pm_epoch, instances, job_id=ctx.job_id,
-                edits=edits_by_worker.get(worker))
-            # honest wire size: the sum of the per-instance
-            # InstantiateWorkerTemplate messages this grant replaces
-            out.size_bytes = (
-                (P.TASK_ID_BYTES * len(wts.entries[worker])
-                 + P.PARAM_BLOCK_BYTES) * len(instances))
+            out = self._build_window(grant, worker, instances,
+                                     len(wts.entries[worker]),
+                                     edits=edits_by_worker.get(worker))
             c.send_reliable(c.workers[worker], out)
             grant.expected.add(worker)
             grant.progress[worker] = 0
-        self._grant = grant
 
     # -- summaries ------------------------------------------------------
     def on_window_summary(self, msg: P.WindowSummary) -> None:
@@ -345,10 +366,14 @@ class DecentralizedPolicy(SchedulingPolicy):
                 continue
             reclaimed += len(run.expected_workers)
         self._grant = None
+        self._abort_granted(grant)
         c.metrics.incr("self_schedule.reclaimed_instances", reclaimed)
         c.metrics.incr("self_schedule.aborted_windows")
         # do NOT pump the queue: later windows read this one's lost
         # outputs; recovery (or job teardown) decides what runs next
+
+    def _abort_granted(self, grant: _WindowGrant) -> None:
+        """Hook for relayed-dispatch policies to tear down relay state."""
 
     def _regrant(self, worker: int) -> None:
         """Re-issue a stalled worker's remaining instances under the
@@ -357,15 +382,15 @@ class DecentralizedPolicy(SchedulingPolicy):
         c = self.controller
         grant = self._grant
         remaining = grant.per_worker[worker][grant.progress[worker]:]
-        out = P.SelfScheduleWindow(
-            grant.window_id, grant.block_id, grant.version, c.pm_epoch,
-            remaining, job_id=self.ctx.job_id)
         wts = self.ctx.worker_templates.get((grant.block_id, grant.version))
         entries = len(wts.entries[worker]) if wts is not None else 1
-        out.size_bytes = ((P.TASK_ID_BYTES * entries + P.PARAM_BLOCK_BYTES)
-                          * max(1, len(remaining)))
-        c.send_reliable(c.workers[worker], out)
+        out = self._build_window(grant, worker, remaining, entries)
+        self._deliver_regrant(worker, out)
         c.metrics.incr("self_schedule.regrants")
+
+    def _deliver_regrant(self, worker: int, out: P.SelfScheduleWindow) -> None:
+        c = self.controller
+        c.send_reliable(c.workers[worker], out)
 
     def _finish_window(self, grant: _WindowGrant) -> None:
         """Close every run of the window (in seq order) and notify the
@@ -419,11 +444,83 @@ class DecentralizedPolicy(SchedulingPolicy):
         c._drain_dispatch_queue()
 
 
+class ShardedPolicy(DecentralizedPolicy):
+    """Sharded control plane (DESIGN.md §16): decentralized decisions,
+    relayed dispatch.
+
+    Every *decision* — validation, id allocation, run bookkeeping,
+    summary folding — is inherited unchanged from
+    :class:`DecentralizedPolicy`, which is what makes computed values
+    bit-identical across all three modes by construction. What changes
+    is the *fan-out and fan-in path*: instead of one coordinator message
+    per worker per window, the per-worker grants pack into one
+    :class:`~repro.nimbus.protocol.ShardWindow` per controller shard;
+    shards relay to their workers in parallel and return one aggregated
+    :class:`~repro.nimbus.protocol.ShardWindowSummary` each. Coordinator
+    traffic per window drops from O(workers) to O(shards).
+
+    Workers reply to their owning shard (``SelfScheduleWindow.reply_to``),
+    never the coordinator. Stalls are the exception that proves the
+    ownership rule: a stalled summary is forwarded by the shard
+    immediately, because the re-grant needs the coordinator's
+    ``pm_epoch`` — partition-map ownership never shards.
+    """
+
+    mode = "sharded"
+
+    def _build_window(self, grant, worker, instances, entries, edits=None):
+        out = super()._build_window(grant, worker, instances, entries,
+                                    edits=edits)
+        c = self.controller
+        out.reply_to = c.shards[c.shard_of(worker)].name
+        # causal barrier: the relayed window travels shard channels, so
+        # it could overtake the coordinator's own (possibly
+        # retransmitting) dispatch stream to this worker. Stamp the
+        # coordinator→worker sequence the worker must have handled
+        # before opening the window — restoring exactly the ordering the
+        # decentralized single channel gives for free.
+        out.barrier_seq = c.channel_seq(c.workers[worker].name)
+        return out
+
+    def _dispatch_grant(self, grant, wts, edits_by_worker) -> None:
+        c = self.controller
+        per_shard: Dict[int, List] = {}
+        for worker in sorted(grant.per_worker):
+            instances = grant.per_worker[worker]
+            out = self._build_window(grant, worker, instances,
+                                     len(wts.entries[worker]),
+                                     edits=edits_by_worker.get(worker))
+            per_shard.setdefault(c.shard_of(worker), []).append(
+                (worker, out))
+            grant.expected.add(worker)
+            grant.progress[worker] = 0
+        for shard_id in sorted(per_shard):
+            c.send_reliable(c.shards[shard_id], P.ShardWindow(
+                grant.window_id, per_shard[shard_id],
+                job_id=self.ctx.job_id))
+
+    def _deliver_regrant(self, worker: int, out: P.SelfScheduleWindow) -> None:
+        c = self.controller
+        c.send_reliable(c.shards[c.shard_of(worker)], P.ShardRegrant(
+            worker, out, job_id=self.ctx.job_id))
+
+    def _abort_granted(self, grant) -> None:
+        # every shard drops its fan-in state for the aborted window; the
+        # unconditional broadcast is O(shards) and saves tracking which
+        # shards the window actually touched
+        c = self.controller
+        for shard_id in sorted(c.shards):
+            c.send_reliable(c.shards[shard_id], P.ShardAbort(
+                self.ctx.job_id, grant.window_id))
+
+
 def make_policy(mode: str, controller, ctx) -> SchedulingPolicy:
     if mode == "centralized":
         return CentralizedPolicy(controller, ctx)
     if mode == "decentralized":
         return DecentralizedPolicy(controller, ctx)
+    if mode == "sharded":
+        return ShardedPolicy(controller, ctx)
     raise ValueError(
         f"unknown scheduling mode {mode!r}; "
-        f"choose 'centralized' or 'decentralized'")
+        f"choose 'centralized', 'decentralized', or 'sharded'")

@@ -282,3 +282,156 @@ def test_evict_below_minimum_raises_before_mutating():
     cluster = run_with_directives(8, directive_at=4, directive=evict)
     expected = reference(8)
     assert worker_values(cluster, [ACC])[ACC] == expected[ACC]
+
+
+# ---------------------------------------------------------------------------
+# Cross-feature lifecycle sweep (sharded control plane PR)
+#
+# Three races between features that each worked alone:
+#
+# A. ``ReleaseJob`` racing an in-flight ``SelfScheduleWindow`` — a
+#    shard-relayed window could land after the release scrubbed the
+#    job's templates and KeyError the worker (or leak a parked window).
+# B. serve + autoscale — a job admitted from the wait queue while the
+#    autoscaler drains a worker used to place partitions on the
+#    DRAINING node, parking fresh work on a machine on its way out.
+# C. ``pm_epoch`` monotonicity across worker churn — a stale
+#    retransmitted ``EpochUpdate`` (sharded relays and churn-window
+#    retransmits use more than one channel) could regress a worker's
+#    epoch and wrongly stall its re-granted windows; late joiners
+#    missed earlier broadcasts entirely.
+# ---------------------------------------------------------------------------
+def test_release_mid_window_scrubs_parked_and_late_windows():
+    """Bug A, worker side: release closes every window *first*.
+
+    A window parked behind its causal barrier is purged by the release,
+    and a window that was already in flight when the release landed is
+    dropped (counted) instead of raising on the scrubbed template."""
+    cluster = run_with_directives(2)
+    w = cluster.workers[0]
+    m = cluster.metrics
+
+    # a shard-relayed window parked behind its causal barrier
+    w._on_self_schedule(P.SelfScheduleWindow(
+        7, "iter", 0, 0, [(100, 0, 0, {})], job_id=5,
+        reply_to="shard-0", barrier_seq=10 ** 9))
+    assert any(win.job_id == 5 for win in w._barrier_windows)
+
+    w._on_release_job(P.ReleaseJob(5, []))
+    assert not any(win.job_id == 5 for win in w._barrier_windows)
+    assert not any(k[0] == 5 for k in w._grants)
+    assert not any(k[0] == 5 for k in w._deferred_windows)
+
+    # a window that was already in flight when the release landed:
+    # pre-fix this raised KeyError on the scrubbed template (direct
+    # channel) or parked forever as a deferred window (shard relay)
+    before = m.count("self_schedule.released_window_drops")
+    w._on_self_schedule(P.SelfScheduleWindow(
+        8, "iter", 0, 0, [(101, 0, 0, {})], job_id=5, reply_to="shard-0"))
+    assert m.count("self_schedule.released_window_drops") == before + 1
+    assert (5, 8) not in w._grants
+    assert not any(k[0] == 5 for k in w._deferred_windows)
+
+
+def test_job_registration_excludes_draining_workers():
+    """Bug B, placement seam: ``register_job`` must not hand a new
+    tenant partitions on a DRAINING worker (pre-fix the placement order
+    was ``sorted(live_workers)``, drains included)."""
+    cluster = run_with_directives(4, num_workers=3)
+    ctrl = cluster.controller
+
+    ctrl.draining_workers.add(2)
+    ctx = ctrl.register_job(99, driver=None, metrics=cluster.metrics)
+    assert 2 not in ctx.placement.workers
+    assert ctx.placement.workers, "job left with nowhere to place"
+
+    # degenerate case: everything draining falls back to the live set
+    # rather than an empty placement
+    ctrl.draining_workers.update(ctrl.live_workers)
+    ctx2 = ctrl.register_job(100, driver=None, metrics=cluster.metrics)
+    assert sorted(ctx2.placement.workers) == sorted(ctrl.live_workers)
+    ctrl.draining_workers.clear()
+
+
+def test_job_admitted_mid_drain_lands_off_the_draining_worker():
+    """Bug B, end to end: serve + autoscale. A job admitted in the same
+    tick the autoscaler begins a scale-down places only on non-DRAINING
+    workers, and both tenants still compute solo-identical values."""
+    from .test_multitenant import (
+        job_observables, run_solo, serve_cluster, small_lr_app)
+
+    app = small_lr_app(seed=1, workers=4)
+    solo = run_solo(app, seed=1)
+
+    cluster = serve_cluster(app, seed=1, autoscale=True)
+    a = cluster.jobs.submit(app.program(blocking=False))
+    box = {}
+
+    def drain_and_admit():
+        cluster.autoscaler._begin_scale_down(1)
+        box["draining"] = set(cluster.controller.draining_workers)
+        assert box["draining"], "scale-down marked nothing DRAINING"
+        box["record"] = cluster.jobs.submit(app.program(blocking=False))
+        ctx = cluster.controller.jobs[box["record"].job_id]
+        box["placement"] = set(ctx.placement.workers)
+
+    # mid-run for this app: the whole solo run ends around t=0.025
+    cluster.sim.schedule_at(0.01, drain_and_admit)
+    cluster.run_until_jobs_finished(max_seconds=1e6)
+
+    assert box["placement"].isdisjoint(box["draining"]), (
+        f"job placed on DRAINING worker(s) "
+        f"{box['placement'] & box['draining']}")
+    assert box["record"].state == "finished"
+    assert job_observables(cluster, a.job_id, app) == solo
+    assert job_observables(cluster, box["record"].job_id, app) == solo
+
+
+def test_stale_epoch_update_does_not_regress_pm_epoch():
+    """Bug C, worker side: epoch accepts are monotone. A stale
+    retransmit arriving after a newer broadcast (possible once epoch
+    signals travel more than one channel) must not roll the epoch back
+    — pre-fix the handler assigned unconditionally."""
+    cluster = run_with_directives(2)
+    w = cluster.workers[0]
+
+    w.handle(P.EpochUpdate(5))
+    assert w._pm_epoch == 5
+    w.handle(P.EpochUpdate(3))  # stale retransmit on a second channel
+    assert w._pm_epoch == 5, "stale EpochUpdate regressed the epoch"
+    w.handle(P.EpochUpdate(6))
+    assert w._pm_epoch == 6
+
+
+def test_provisioned_worker_syncs_epoch_after_churn():
+    """Bug C, end to end: epoch bump, then a late joiner. The new
+    worker missed the broadcast; ``add_worker`` must sync it (pre-fix
+    it joined at epoch 0 behind the cluster) and the run's values stay
+    bit-identical to an undisturbed baseline."""
+    from repro.apps import LRApp, LRSpec
+
+    from .helpers import computed_values, run_lr
+
+    baseline = computed_values(run_lr(iterations=16))
+
+    spec = LRSpec(num_workers=4, iterations=16, partitions_per_worker=4)
+    app = LRApp(spec)
+    cluster = NimbusCluster(4, app.program(blocking=False),
+                            registry=app.registry, seed=0, mode="sharded")
+    ctrl = cluster.controller
+    box = {}
+
+    cluster.sim.schedule_at(0.5, ctrl.bump_partition_epoch)
+
+    def join():
+        worker = cluster.provision_worker()
+        ctrl.add_worker(worker.worker_id, worker)
+        box["worker"] = worker
+
+    cluster.sim.schedule_at(0.8, join)
+    cluster.run_until_finished(max_seconds=1e6)
+
+    assert ctrl.pm_epoch >= 1
+    assert box["worker"]._pm_epoch == ctrl.pm_epoch, (
+        "late joiner never learned the current partition-map epoch")
+    assert computed_values(cluster) == baseline
